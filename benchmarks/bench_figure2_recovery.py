@@ -1,0 +1,69 @@
+"""Figure 2 (panel: crash-recovery time).
+
+Paper: "the advantage of having dynamic LWGs over having no LWG service
+are clear in the recovery time figure, which shows the benefits of
+resource sharing."
+
+A member of set A crashes while every group carries traffic.  Without
+the service, each of the n affected user groups runs its own recovery
+protocol (flush + view change); with the dynamic service a single HWG
+reconfiguration covers them all.  We report the post-detection
+*reconfiguration* time (failure detection itself is a process-wide
+shared cost identical across flavours) and check the paper's shape:
+the no-service curve grows with n, the dynamic curve stays flat.
+"""
+
+from conftest import FIGURE2_NS, FLAVOURS, SEED
+
+from repro.metrics import series_table, shape_check
+from repro.workloads import build_figure2, measure_recovery
+
+
+def run_recovery_scan():
+    reconfig = {flavour: [] for flavour in FLAVOURS}
+    total = {flavour: [] for flavour in FLAVOURS}
+    for n in FIGURE2_NS:
+        for flavour in FLAVOURS:
+            setup = build_figure2(n=n, flavour=flavour, seed=SEED)
+            result = measure_recovery(setup)
+            reconfig[flavour].append(result.reconfig_us / 1000.0)
+            total[flavour].append(result.total_us / 1000.0)
+    return reconfig, total
+
+
+def test_figure2_recovery(benchmark):
+    reconfig, total = benchmark.pedantic(run_recovery_scan, rounds=1, iterations=1)
+    print(
+        series_table(
+            "Figure 2 — recovery (reconfiguration) time vs n",
+            "n",
+            list(FIGURE2_NS),
+            reconfig,
+            unit="ms",
+            note="post-detection protocol work; detection (~350ms FD timeout) is common",
+        )
+    )
+    print(
+        series_table(
+            "Figure 2 — recovery (crash-to-recovered, incl. detection) vs n",
+            "n",
+            list(FIGURE2_NS),
+            total,
+            unit="ms",
+        )
+    )
+    none_first, none_last = reconfig["none"][0], reconfig["none"][-1]
+    dyn_last = reconfig["dynamic"][-1]
+    checks = [
+        shape_check(
+            f"no-service reconfiguration grows with n ({none_first:.1f} -> {none_last:.1f}ms)",
+            none_last > 2 * none_first,
+        ),
+        shape_check(
+            f"dynamic stays far below no-service at n={FIGURE2_NS[-1]} "
+            f"({dyn_last:.1f} vs {none_last:.1f}ms)",
+            dyn_last < 0.5 * none_last,
+        ),
+    ]
+    print("\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks)

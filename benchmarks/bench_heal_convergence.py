@@ -1,0 +1,98 @@
+"""Section 6 claim: heal-to-convergence time of the full pipeline.
+
+Sweeps the scenario along two axes the paper's design cares about:
+
+* the number of LWGs that must be reconciled (shared-flush amortisation);
+* the partition side size (bigger HWG merges and LWG views).
+
+Also exercises *virtual partitions* (Section 4): a short-lived partition
+that heals before failure detection must reconcile for free.
+"""
+
+from conftest import SEED
+
+from repro.metrics import series_table, shape_check
+from repro.sim import SECOND
+from repro.workloads import Cluster, build_partition_scenario
+
+
+def heal_time(num_groups, side_size, seed):
+    scenario = build_partition_scenario(
+        num_groups=num_groups, side_size=side_size, seed=seed
+    )
+    cluster = scenario.cluster
+    heal_at = cluster.env.now
+    cluster.heal()
+    assert cluster.run_until(scenario.converged, timeout_us=90 * SECOND)
+    return (cluster.env.now - heal_at) / 1000.0
+
+
+def run_scan():
+    by_groups = [heal_time(m, 2, SEED + m) for m in (1, 2, 4)]
+    by_side = [heal_time(2, s, SEED + 10 + s) for s in (2, 3, 4)]
+    return by_groups, by_side
+
+
+def test_heal_convergence(benchmark):
+    by_groups, by_side = benchmark.pedantic(run_scan, rounds=1, iterations=1)
+    print(
+        series_table(
+            "Heal-to-convergence vs reconciled LWGs (side size 2)",
+            "LWGs",
+            [1, 2, 4],
+            {"convergence": by_groups},
+            unit="ms",
+        )
+    )
+    print(
+        series_table(
+            "Heal-to-convergence vs partition side size (2 LWGs)",
+            "side size",
+            [2, 3, 4],
+            {"convergence": by_side},
+            unit="ms",
+        )
+    )
+    checks = [
+        shape_check(
+            f"convergence sub-linear in LWG count ({by_groups[0]:.0f} -> {by_groups[-1]:.0f}ms for 4x groups)",
+            by_groups[-1] <= 2.5 * max(by_groups[0], 1),
+        ),
+        shape_check(
+            f"convergence bounded in side size ({by_side[0]:.0f} -> {by_side[-1]:.0f}ms)",
+            by_side[-1] <= 4 * max(by_side[0], 1),
+        ),
+    ]
+    print("\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks)
+
+
+def test_virtual_partition_costs_nothing(benchmark):
+    """A partition shorter than the FD timeout must not disturb mappings."""
+
+    def run():
+        cluster = Cluster(num_processes=4, seed=SEED, num_name_servers=2)
+        handles = [cluster.service(i).join("g") for i in range(4)]
+        assert cluster.run_until(
+            lambda: all(
+                h.view is not None and len(h.view.members) == 4 for h in handles
+            ),
+            timeout_us=15 * SECOND,
+        )
+        view_before = handles[0].view.view_id
+        switches_before = sum(cluster.service(i).stats.switches_started for i in range(4))
+        cluster.partition(["p0", "p1", "ns0"], ["p2", "p3", "ns1"])
+        cluster.run_for(100_000)  # 100ms << 350ms FD timeout
+        cluster.heal()
+        cluster.run_for_seconds(3)
+        view_after = handles[0].view.view_id
+        switches_after = sum(cluster.service(i).stats.switches_started for i in range(4))
+        return view_before == view_after and switches_before == switches_after
+
+    undisturbed = benchmark.pedantic(run, rounds=1, iterations=1)
+    check = shape_check(
+        "virtual partition (100ms) causes no view change and no switch",
+        undisturbed,
+    )
+    print(check)
+    assert check.startswith("[PASS]")

@@ -1,0 +1,147 @@
+"""Naming-service benchmarks (Section 5.2 / 6.1 design choices).
+
+* **reconciliation cost** — merging two replicas that diverged by N
+  mappings each: time and records exchanged, vs N.  Reconciliation is
+  the heal-time hot path, so it must scale linearly in the delta.
+* **callback vs poll** — Section 6.1 rejects periodic polling because it
+  "could load the servers with unnecessary requests".  We count naming
+  messages under the callback design and compare with the polling
+  traffic the paper's alternative would generate.
+"""
+
+from conftest import SEED
+
+from repro.metrics import format_table, series_table, shape_check
+from repro.naming import MappingRecord, NamingDatabase, absorb
+from repro.naming.reconciliation import genealogy_to_send, records_to_send
+from repro.sim import SECOND
+from repro.vsync.view import ViewId
+from repro.workloads import build_partition_scenario
+
+DB_SIZES = (10, 100, 1000)
+
+
+def build_diverged_pair(n):
+    """Two replicas, each holding n mappings the other lacks."""
+    left, right = NamingDatabase(), NamingDatabase()
+    for i in range(n):
+        left.apply(MappingRecord(
+            lwg=f"lwg:l{i}", lwg_view=ViewId("pl", i), lwg_members=("pl",),
+            hwg=f"hwg:l{i % 7}", hwg_view=ViewId("h", i), version=1, writer="pl",
+        ), parents=[ViewId("pl", i - 1)] if i else [])
+        right.apply(MappingRecord(
+            lwg=f"lwg:r{i}", lwg_view=ViewId("pr", i), lwg_members=("pr",),
+            hwg=f"hwg:r{i % 7}", hwg_view=ViewId("h", i), version=1, writer="pr",
+        ), parents=[ViewId("pr", i - 1)] if i else [])
+    return left, right
+
+
+def reconcile_pair(left, right):
+    """The 3-message push-pull exchange, as pure computation."""
+    to_left = records_to_send(right, left.digest())
+    absorb(left, to_left, genealogy_to_send(right, left.genealogy_edges()))
+    to_right = records_to_send(left, right.digest())
+    absorb(right, to_right, genealogy_to_send(left, right.genealogy_edges()))
+    return len(to_left) + len(to_right)
+
+
+def test_reconciliation_cost_scales_linearly(benchmark):
+    def scan():
+        rows = []
+        for n in DB_SIZES:
+            left, right = build_diverged_pair(n)
+            exchanged = reconcile_pair(left, right)
+            rows.append([n, exchanged, len(left), len(right)])
+        return rows
+
+    rows = benchmark.pedantic(scan, rounds=1, iterations=1)
+    print(
+        format_table(
+            "Naming reconciliation — records exchanged vs divergence",
+            ["mappings per side", "records exchanged", "left size", "right size"],
+            rows,
+        )
+    )
+    checks = [
+        shape_check(
+            "exchange volume is exactly the divergence (2n)",
+            all(row[1] == 2 * row[0] for row in rows),
+        ),
+        shape_check(
+            "replicas converge to the union",
+            all(row[2] == row[3] == 2 * row[0] for row in rows),
+        ),
+    ]
+    print("\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks)
+
+
+def test_reconcile_1000_mappings(benchmark):
+    """Raw speed of a 1000-vs-1000 record reconciliation."""
+
+    def run():
+        left, right = build_diverged_pair(1000)
+        return reconcile_pair(left, right)
+
+    exchanged = benchmark(run)
+    assert exchanged == 2000
+
+
+def test_callback_vs_poll_traffic(benchmark):
+    """Section 6.1: "One possible way is to require group members to
+    periodically inquire one of the reachable name servers.
+    Unfortunately, this could load the servers with unnecessary
+    requests.  Instead, we use the callback approach."
+
+    Steady-state comparison over a quiet window: a converged system with
+    no partitions.  The callback design costs nothing while nothing
+    changes; the rejected polling design pays one read per member per
+    LWG per poll period, forever.
+    """
+
+    QUIET_SECONDS = 30
+    POLL_PERIOD_S = 0.5  # a plausible discovery-poll period
+
+    def run():
+        scenario = build_partition_scenario(num_groups=2, seed=SEED)
+        cluster = scenario.cluster
+        cluster.heal()
+        assert cluster.run_until(scenario.converged, timeout_us=60 * SECOND)
+        cluster.run_for_seconds(3)  # post-heal dust settles
+        served_before = sum(s.requests_served for s in cluster.name_servers.values())
+        callbacks_before = sum(
+            s.notifier.notifications_sent for s in cluster.name_servers.values()
+        )
+        cluster.run_for_seconds(QUIET_SECONDS)
+        served = sum(s.requests_served for s in cluster.name_servers.values())
+        callbacks = sum(
+            s.notifier.notifications_sent for s in cluster.name_servers.values()
+        )
+        members = len(scenario.side_a) + len(scenario.side_b)
+        poll_equivalent = int(
+            members * len(scenario.groups) * QUIET_SECONDS / POLL_PERIOD_S
+        )
+        return served - served_before, callbacks - callbacks_before, poll_equivalent
+
+    requests, callbacks, poll_equivalent = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        format_table(
+            "Section 6.1 — steady-state discovery load on the name servers "
+            f"({QUIET_SECONDS}s quiet window)",
+            ["design", "server requests"],
+            [
+                ["callbacks (implemented)", requests],
+                ["  ... of which push callbacks", callbacks],
+                ["per-member polling (rejected)", poll_equivalent],
+            ],
+        )
+    )
+    check = shape_check(
+        f"callback design far below the polling equivalent "
+        f"({requests} vs {poll_equivalent})",
+        requests < poll_equivalent / 10,
+    )
+    print(check)
+    assert check.startswith("[PASS]")

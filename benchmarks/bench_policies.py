@@ -1,0 +1,94 @@
+"""Figure 1: the mapping heuristics — convergence and cost.
+
+Two claims from Section 3.2 are checked:
+
+* **stability** — after the system converges to a good mapping, further
+  policy evaluations prescribe no actions (no oscillation);
+* **negligible overhead** — one policy evaluation over a realistic local
+  state costs microseconds of real CPU (the paper runs it once a minute
+  precisely so its cost "is negligible").
+"""
+
+from conftest import SEED
+
+from repro.core import LwgConfig, PolicyEngine, PolicySnapshot
+from repro.metrics import format_table, shape_check
+from repro.sim import SECOND
+from repro.workloads import Cluster
+
+
+def build_converged_cluster():
+    """8 processes, two 4-process sets, 3 groups per set, fast policies."""
+    config = LwgConfig()
+    config.policy_period_us = 2 * SECOND
+    config.shrink_grace_us = 1 * SECOND
+    cluster = Cluster(num_processes=8, seed=SEED, lwg_config=config)
+    handles = []
+    for g in range(3):
+        for i in range(4):
+            handles.append(cluster.service(i).join(f"a{g}"))
+        for i in range(4, 8):
+            handles.append(cluster.service(i).join(f"b{g}"))
+    cluster.run_for_seconds(20)
+    assert all(h.is_member for h in handles)
+    return cluster, handles
+
+
+def run_stability():
+    cluster, handles = build_converged_cluster()
+    # After convergence, policy evaluations must be empty at every node.
+    actions_per_round = []
+    for _ in range(3):
+        cluster.run_for_seconds(3)
+        round_actions = 0
+        for node in cluster.process_ids:
+            round_actions += len(cluster.service(node).run_policies_once())
+        actions_per_round.append(round_actions)
+    hwgs = {h.hwg for h in handles}
+    return actions_per_round, hwgs, cluster
+
+
+def test_figure1_policy_stability(benchmark):
+    actions_per_round, hwgs, cluster = benchmark.pedantic(
+        run_stability, rounds=1, iterations=1
+    )
+    print(
+        format_table(
+            "Figure 1 — policy actions after convergence (must be zero)",
+            ["round", "actions prescribed (all 8 nodes)"],
+            [[i + 1, count] for i, count in enumerate(actions_per_round)],
+        )
+    )
+    checks = [
+        shape_check(
+            f"converged to 2 HWGs (one per membership class): {sorted(hwgs)}",
+            len(hwgs) == 2,
+        ),
+        shape_check(
+            f"no policy oscillation after convergence: {actions_per_round}",
+            actions_per_round[-1] == 0,
+        ),
+    ]
+    print("\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks)
+
+
+def test_figure1_policy_evaluation_cost(benchmark):
+    """Micro-benchmark: one evaluation over a 50-LWG/10-HWG local state."""
+    members = {f"hwg:{i:02d}": frozenset(f"p{j}" for j in range(i % 6 + 2))
+               for i in range(10)}
+    snapshot = PolicySnapshot(
+        node="p0",
+        now_us=60_000_000,
+        coordinated_lwgs={
+            f"lwg:g{i}": (frozenset(f"p{j}" for j in range(i % 4 + 1)),
+                          f"hwg:{i % 10:02d}")
+            for i in range(50)
+        },
+        hwg_members=members,
+        local_lwgs_per_hwg={h: 5 for h in members},
+        hwg_idle_since={h: 0 for h in members},
+    )
+    engine = PolicyEngine(LwgConfig())
+    result = benchmark(engine.evaluate, snapshot)
+    assert isinstance(result, list)

@@ -1,0 +1,117 @@
+"""Scalability: how many LWGs can one HWG carry?
+
+The service's whole premise is that co-mapping is cheap.  This bench
+sweeps the number of LWGs multiplexed onto a single 4-member HWG and
+measures what each additional group costs:
+
+* join latency for the k-th group (naming round-trip + one ordered view
+  message — must stay flat);
+* per-message delivery latency with all k groups active (the ordered
+  channel is shared, so load rises with k);
+* background traffic rate (heartbeats/beacons/stability are *per HWG*,
+  not per LWG — the sharing win over one-HWG-per-group).
+"""
+
+from conftest import SEED
+
+from repro.metrics import series_table, shape_check
+from repro.sim import MS, SECOND
+from repro.workloads import Cluster
+from repro.workloads.traffic import ProbeHub, ProbeListener, probe_payload
+
+K_VALUES = (1, 4, 16, 64)
+
+
+def run_scaling():
+    join_ms = []
+    latency_ms = []
+    background_msgs_per_s = []
+    for k in K_VALUES:
+        cluster = Cluster(num_processes=4, seed=SEED + k, keep_trace=False)
+        hub = ProbeHub(env=cluster.env)
+        handles = {}
+        # First group establishes the HWG.
+        for i in range(4):
+            handles[("g0", i)] = cluster.service(i).join(
+                "g0", ProbeListener(hub, cluster.node_id(i))
+            )
+        cluster.run_for_seconds(5)
+        # Add groups 1..k-1 and time the last join.
+        last_join_ms = 0.0
+        for g in range(1, k):
+            name = f"g{g}"
+            start = cluster.env.now
+            for i in range(4):
+                handles[(name, i)] = cluster.service(i).join(
+                    name, ProbeListener(hub, cluster.node_id(i))
+                )
+            assert cluster.run_until(
+                lambda n=name: all(
+                    handles[(n, i)].view is not None
+                    and len(handles[(n, i)].view.members) == 4
+                    for i in range(4)
+                ),
+                timeout_us=20 * SECOND,
+            ), name
+            last_join_ms = (cluster.env.now - start) / 1000
+        join_ms.append(last_join_ms)
+        # All groups co-mapped?
+        hwgs = {h.hwg for h in handles.values()}
+        assert len(hwgs) == 1, hwgs
+        # Light traffic on every group (paced: one send per 5ms so the
+        # measurement reflects per-message cost, not a self-made burst).
+        for round_no in range(3):
+            for g in range(k):
+                index = round_no * k + g
+                cluster.env.sim.schedule(
+                    index * 5 * MS,
+                    lambda g=g, r=round_no: handles[(f"g{g}", 0)].send(
+                        probe_payload(cluster.env, r)
+                    ),
+                )
+        cluster.run_for(3 * k * 5 * MS + 2 * SECOND)
+        stats = hub.latency.summary()
+        latency_ms.append(stats.mean_us / 1000 if stats else 0.0)
+        # Background (quiet) traffic rate.
+        before = cluster.env.network.messages_sent
+        cluster.run_for_seconds(5)
+        background_msgs_per_s.append(
+            (cluster.env.network.messages_sent - before) / 5
+        )
+    return join_ms, latency_ms, background_msgs_per_s
+
+
+def test_lwgs_per_hwg_scaling(benchmark):
+    join_ms, latency_ms, background = benchmark.pedantic(
+        run_scaling, rounds=1, iterations=1
+    )
+    print(
+        series_table(
+            "Scalability — k LWGs multiplexed on one 4-member HWG",
+            "k",
+            list(K_VALUES),
+            {
+                "k-th join (ms)": join_ms,
+                "delivery latency (ms)": latency_ms,
+                "background msgs/s": background,
+            },
+            note="joins and background load must not grow with k "
+            "(the resource-sharing premise)",
+        )
+    )
+    checks = [
+        shape_check(
+            f"join latency flat in k ({join_ms[1]:.0f} -> {join_ms[-1]:.0f}ms)",
+            join_ms[-1] <= 3 * max(join_ms[1], 1),
+        ),
+        shape_check(
+            f"background traffic ~flat in k ({background[0]:.0f} -> {background[-1]:.0f}/s)",
+            background[-1] <= 1.5 * background[0] + 10,
+        ),
+        shape_check(
+            f"delivery latency bounded ({latency_ms[0]:.2f} -> {latency_ms[-1]:.2f}ms)",
+            latency_ms[-1] < 20,
+        ),
+    ]
+    print("\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks)

@@ -1,0 +1,34 @@
+"""repro — reproduction of "Partitionable Light-Weight Groups".
+
+Rodrigues & Guo, 20th IEEE International Conference on Distributed
+Computing Systems (ICDCS), 2000.
+
+Layer map (bottom-up):
+
+* :mod:`repro.sim` — deterministic discrete-event network simulation
+  (the testbed substitute: latency/bandwidth model, partitions, crashes).
+* :mod:`repro.vsync` — partitionable virtually-synchronous group
+  communication: the heavy-weight group (HWG) substrate.
+* :mod:`repro.naming` — the weakly-consistent replicated naming service
+  with reconciliation, genealogy GC and MULTIPLE-MAPPINGS callbacks.
+* :mod:`repro.core` — the paper's contribution: the transparent dynamic
+  partitionable light-weight group (LWG) service and its baselines.
+* :mod:`repro.workloads` / :mod:`repro.metrics` — scenario builders and
+  measurement used by the examples and benchmarks.
+
+Quickstart::
+
+    from repro.workloads import Cluster
+
+    cluster = Cluster(num_processes=4, seed=7)
+    handles = [cluster.service(i).join("chat") for i in range(4)]
+    cluster.run_for_seconds(3)
+    handles[0].send("hello, group")
+    cluster.run_for_seconds(1)
+"""
+
+__version__ = "1.0.0"
+
+from . import core, naming, sim, vsync  # noqa: F401
+
+__all__ = ["core", "naming", "sim", "vsync", "__version__"]

@@ -1,0 +1,40 @@
+"""Command-line entry point: run the bundled examples.
+
+Usage::
+
+    python -m repro                 # list examples
+    python -m repro quickstart      # run one
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = {
+    "quickstart": "joins, HWG sharing, ordered delivery, crash handling",
+    "trading_system": "Swiss-Exchange-style subject groups with failover",
+    "collaboration": "CCTL-style document sessions with churn",
+    "partition_healing": "the Figure-3 -> Table-4 reconciliation, narrated",
+    "replicated_kv": "replicated KV store with state transfer and partitions",
+}
+
+
+def main(argv) -> int:
+    examples_dir = Path(__file__).resolve().parent.parent.parent / "examples"
+    if len(argv) != 1 or argv[0] not in EXAMPLES:
+        print("usage: python -m repro <example>\n\navailable examples:")
+        for name, blurb in EXAMPLES.items():
+            print(f"  {name:18s} {blurb}")
+        return 0 if not argv else 1
+    script = examples_dir / f"{argv[0]}.py"
+    if not script.exists():
+        print(f"example script not found: {script}", file=sys.stderr)
+        return 1
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

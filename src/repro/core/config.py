@@ -1,0 +1,61 @@
+"""Configuration of the light-weight group service.
+
+The defaults mirror the paper's prototype: ``k_m = 4`` and ``k_c = 4``
+(a LWG is mapped onto an HWG when their common members exceed 75% of the
+HWG and the mapping stays until that drops to 25%), and heuristics run
+"periodically with a relatively large period (in the prototype we ran
+them once every minute)".  Simulated scenarios usually scale the policy
+period down to keep runs short — the ratio between policy period and
+protocol latencies is what matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..sim.engine import SECOND
+
+
+@dataclass
+class LwgConfig:
+    """Tunables of the LWG service (times in microseconds)."""
+
+    # Figure-1 heuristic parameters.
+    k_m: int = 4
+    k_c: int = 4
+    #: How often the mapping heuristics run at each process.
+    policy_period_us: int = 60 * SECOND
+    #: Master switches for the adaptive machinery (baselines turn them off).
+    enable_policies: bool = True
+    enable_reconciliation: bool = True
+    #: An HWG membership with no local LWG mapped must persist this long
+    #: before the shrink rule makes the process leave it.
+    shrink_grace_us: int = 2 * SECOND
+    #: Joiner timeouts: waiting for the LWG view after sending a join
+    #: request, before re-reading the naming service and retrying.
+    join_retry_us: int = 1 * SECOND
+    #: How long the joiner waits for the LWG to show up on the mapped HWG
+    #: before concluding the mapping is stale and (re)creating the LWG.
+    join_claim_us: int = 2 * SECOND
+    #: Switch protocol: how long the coordinator waits for every member
+    #: to reach the target HWG before aborting the switch.
+    switch_timeout_us: int = 5 * SECOND
+    #: LWG coordinators re-announce their view on their HWG at this
+    #: period.  This is the liveness backstop for local peer discovery
+    #: (Section 6.3): Figure 5's trigger is DATA traffic, so two quiet
+    #: concurrent views co-mapped on one HWG would otherwise never merge.
+    announce_period_us: int = 2 * SECOND
+    #: Default payload size assumed for user messages without one.
+    default_payload_bytes: int = 256
+
+    def scaled(self, factor: float) -> "LwgConfig":
+        """A copy with every timer multiplied by ``factor``."""
+        return replace(
+            self,
+            policy_period_us=int(self.policy_period_us * factor),
+            shrink_grace_us=int(self.shrink_grace_us * factor),
+            join_retry_us=int(self.join_retry_us * factor),
+            join_claim_us=int(self.join_claim_us * factor),
+            switch_timeout_us=int(self.switch_timeout_us * factor),
+            announce_period_us=int(self.announce_period_us * factor),
+        )

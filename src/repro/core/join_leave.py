@@ -1,0 +1,206 @@
+"""The LWG join protocol (and the leave fast paths).
+
+Joining a light-weight group (Section 3.1, partition-hardened per
+Section 5.2):
+
+1. read the naming service; if live mappings exist, target the one on
+   the highest-gid HWG (consistent with the Section 6.2 reconciliation
+   rule, so joiners racing a reconciliation pick the surviving side);
+2. become a member of the target HWG (the heavy machinery — failure
+   detection, flush, total order — all happens down there);
+3. multicast an ``LwgJoinReq`` on the HWG; the LWG coordinator answers
+   by installing a new LWG view that includes us;
+4. if the mapping was stale: members holding a *forward pointer* redirect
+   us to the HWG the LWG switched to; if nobody answers at all within
+   the claim timeout, the mapping is dead and we (re)create the LWG here
+   via ``ns.testset`` — losing that race simply restarts the loop with
+   the winner's record.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..naming.records import HwgId, LwgId, MappingRecord
+from ..vsync.membership import EndpointState
+from ..vsync.view import View, ViewId
+from .ids import highest_gid
+from .mapping_table import LocalLwg, LwgState
+from .messages import LwgJoinReq
+
+
+class JoinDriver:
+    """State machine driving one process's join of one LWG."""
+
+    def __init__(self, service, local: LocalLwg):
+        self.svc = service
+        self.local = local
+        self.lwg: LwgId = local.lwg
+        self.target_hwg: Optional[HwgId] = None
+        self.mode = "read"  # read | join | create
+        self.done = False
+        self._timer = None
+        self._epoch = 0  # bumps on every retarget; stale timers check it
+        self._acted_epoch = -1  # guards one action per (re)target
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.svc.trace("lwg_join_start", lwg=self.lwg)
+        self._read_naming()
+
+    def cancel(self) -> None:
+        self.done = True
+        self._cancel_timer()
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _arm(self, delay: int, callback) -> None:
+        self._cancel_timer()
+        epoch = self._epoch
+
+        def fire() -> None:
+            if not self.done and epoch == self._epoch:
+                callback()
+
+        self._timer = self.svc.stack.set_timer(delay, fire)
+
+    # ------------------------------------------------------------------
+    # Step 1: naming lookup
+    # ------------------------------------------------------------------
+    def _read_naming(self) -> None:
+        self.mode = "read"
+        self._epoch += 1
+        self.svc.naming.read(self.lwg, self._on_ns_records)
+
+    def _on_ns_records(self, records: Sequence[MappingRecord]) -> None:
+        if self.done:
+            return
+        live = [r for r in records if not r.deleted]
+        if live:
+            # Prefer the mapping on the highest-gid HWG (Section 6.2 rule).
+            best_hwg = highest_gid({r.hwg for r in live})
+            self._target(best_hwg, mode="join")
+        else:
+            chosen = self.svc.mapping_policy.choose(self.lwg, self.svc)
+            self._target(chosen or self.svc.mint_hwg_id(), mode="create")
+
+    # ------------------------------------------------------------------
+    # Step 2: get onto the HWG
+    # ------------------------------------------------------------------
+    def _target(self, hwg: HwgId, mode: str) -> None:
+        self._epoch += 1
+        self.mode = mode
+        self.target_hwg = hwg
+        self.local.hwg = hwg
+        endpoint = self.svc.ensure_hwg(hwg)
+        if endpoint.state is EndpointState.MEMBER and endpoint.current_view is not None:
+            self.on_hwg_ready(hwg)
+            return
+        # The service calls on_hwg_ready when the HWG view containing us
+        # installs.  The safety timer below covers every wedge this can
+        # hit in a churning system (a stale mapping pointing at an HWG
+        # being drained, a record that switched away mid-join, ...): if
+        # nothing happened after the stall window, restart from the
+        # naming lookup with fresh information.
+        stall_window = 2 * self.svc.config.join_claim_us
+        self._arm(stall_window, self._stalled)
+
+    def _stalled(self) -> None:
+        if self.done:
+            return
+        self.svc.trace("lwg_join_stalled_retry", lwg=self.lwg, target=self.target_hwg)
+        self._read_naming()
+
+    def on_hwg_ready(self, hwg: HwgId) -> None:
+        """We are now a member of ``hwg``: run the LWG-level step."""
+        if self.done or hwg != self.target_hwg:
+            return
+        if self._acted_epoch == self._epoch:
+            return  # already acted for this target; timers drive retries
+        self._acted_epoch = self._epoch
+        if self.mode == "join":
+            self._send_join_request()
+        elif self.mode == "create":
+            self._claim()
+
+    # ------------------------------------------------------------------
+    # Step 3: ask the LWG coordinator to admit us
+    # ------------------------------------------------------------------
+    def _send_join_request(self) -> None:
+        assert self.target_hwg is not None
+        request = LwgJoinReq(lwg=self.lwg, joiner=self.svc.node)
+        self.svc.hwg_send(self.target_hwg, request)
+        # If nothing materialises, the mapping may be stale: claim the LWG.
+        self._arm(self.svc.config.join_claim_us, self._claim_or_retry)
+
+    def _claim_or_retry(self) -> None:
+        directory = self.svc.table.dir_for(self.target_hwg)
+        if self.lwg in directory.views:
+            # The LWG is alive here; the coordinator just hasn't admitted
+            # us yet (e.g. mid-switch).  Ask again.
+            self._send_join_request()
+        else:
+            self._claim()
+
+    # ------------------------------------------------------------------
+    # Step 4: create (or re-create) the LWG on the target HWG
+    # ------------------------------------------------------------------
+    def _claim(self) -> None:
+        assert self.target_hwg is not None
+        endpoint = self.svc.hwg_endpoint(self.target_hwg)
+        if endpoint is None or endpoint.current_view is None:
+            self._acted_epoch = -1  # let the next HWG view re-fire us
+            return
+        self.mode = "create"
+        view = View(
+            group=self.lwg,
+            view_id=ViewId(self.svc.node, self.svc.stack.next_view_seq()),
+            members=(self.svc.node,),
+            parents=(),
+        )
+        record = MappingRecord(
+            lwg=self.lwg,
+            lwg_view=view.view_id,
+            lwg_members=view.members,
+            hwg=self.target_hwg,
+            hwg_view=endpoint.current_view.view_id,
+            version=self.svc.naming.next_version(),
+            writer=self.svc.node,
+        )
+        claimed_epoch = self._epoch
+        self.svc.naming.testset(
+            record,
+            parents=(),
+            on_reply=lambda records: self._on_testset_reply(view, claimed_epoch, records),
+        )
+
+    def _on_testset_reply(
+        self, proposed: View, epoch: int, records: Tuple[MappingRecord, ...]
+    ) -> None:
+        if self.done or epoch != self._epoch:
+            return
+        won = any(r.lwg_view == proposed.view_id for r in records)
+        if won:
+            self.svc.adopt_created_view(self.local, proposed, self.target_hwg)
+            return
+        # Lost the creation race: follow whatever mapping won.
+        self._on_ns_records(records)
+
+    # ------------------------------------------------------------------
+    # Events surfaced by the service
+    # ------------------------------------------------------------------
+    def on_redirect(self, to_hwg: HwgId) -> None:
+        """A forward pointer told us the LWG switched to ``to_hwg``."""
+        if self.done:
+            return
+        self.svc.trace("lwg_join_redirect", lwg=self.lwg, to=to_hwg)
+        self._target(to_hwg, mode="join")
+
+    def complete(self) -> None:
+        """The LWG view including us was installed."""
+        self.done = True
+        self._cancel_timer()
+        self.svc.trace("lwg_join_done", lwg=self.lwg, hwg=self.target_hwg)

@@ -1,0 +1,308 @@
+"""Partition reconciliation at the LWG layer (paper Section 6).
+
+Two cooperating pieces:
+
+* :class:`ReconciliationHandler` — steps 1-2.  The naming service's
+  MULTIPLE-MAPPINGS callback (global peer discovery) tells an LWG-view
+  coordinator that concurrent views of its LWG are mapped onto different
+  HWGs; the coordinator deterministically yields to the **highest group
+  identifier** — if its own HWG is not the winner it switches its view
+  there, otherwise it keeps its mapping ("the view lwg_a needs to be
+  switched and the view lwg'_a should keep the same mapping").
+
+* :class:`MergeManager` — steps 3-4, the Figure-5 protocol.  Once
+  concurrent LWG views share an HWG view, any member that sees evidence
+  of concurrency (a DATA tagged with a concurrent view id — Figure 5
+  line 106 — or a concurrent view announcement) multicasts MERGE-VIEWS.
+  Every member answers with ALL-VIEWS (its local LWG views on that HWG);
+  the HWG coordinator forces a flush; and at the resulting view
+  installation every member deterministically merges *all* concurrent
+  views of *all* LWGs collected — one flush amortised over every LWG on
+  the HWG, which is the protocol's resource-sharing claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..naming.messages import MultipleMappings
+from ..naming.records import HwgId, LwgId
+from ..vsync.view import View, ViewId
+from .ids import highest_gid
+from .lwg_view import merge_lwg_views
+from .mapping_table import LocalLwg, LwgState
+from .messages import AllViewsMsg, MergeViewsMsg
+
+
+class MergeManager:
+    """Figure-5 merge-views protocol state, per underlying HWG."""
+
+    def __init__(self, service):
+        self.svc = service
+        #: hwg -> lwg -> view_id -> view: the AV_p(hwg) sets of Figure 5.
+        self._collected: Dict[HwgId, Dict[LwgId, Dict[ViewId, View]]] = {}
+        #: HWGs on which we already multicast MERGE-VIEWS this round.
+        self._requested: Set[HwgId] = set()
+        #: HWGs on which we already answered with ALL-VIEWS this round.
+        self._responded: Set[HwgId] = set()
+        #: Ordered join/leave requests held back until the round's flush.
+        self._deferred: Dict[HwgId, List[Tuple[str, object]]] = {}
+        #: Monotonic per-HWG token distinguishing rounds for retry timers.
+        self._round_token: Dict[HwgId, int] = {}
+        self.merges_completed = 0
+        self.merge_rounds = 0
+
+    def round_active(self, hwg: HwgId) -> bool:
+        """True while a merge round is running on ``hwg``.
+
+        Coordinators must not mint successor LWG views during a round:
+        a minted view whose ordered message lands *after* the flush would
+        be missing from the equalised collected set, so the merge would
+        not descend from it — lineage divergence.  Join/leave requests
+        are deferred instead (see :meth:`defer` / :meth:`take_deferred`).
+        """
+        return hwg in self._responded or hwg in self._requested
+
+    def defer(self, hwg: HwgId, kind: str, message: object) -> None:
+        """Hold an ordered request back until the round completes.
+
+        Every member buffers the same ordered prefix, so deferral keeps
+        processing uniform across the group.
+        """
+        self._deferred.setdefault(hwg, []).append((kind, message))
+
+    def take_deferred(self, hwg: HwgId) -> List[Tuple[str, object]]:
+        return self._deferred.pop(hwg, [])
+
+    # ------------------------------------------------------------------
+    # Triggering (Figure 5, lines 106-107)
+    # ------------------------------------------------------------------
+    #: If a round's flush has not happened within this window, the round
+    #: state is reset and MERGE-VIEWS re-multicast.  A round can wedge
+    #: when its trigger message is lost in extreme churn (e.g. a flush
+    #: cut drops it and the cross-view republish is cancelled by a
+    #: dedup floor that advanced in a concurrent branch); without a
+    #: retry, the stuck round would suppress all future triggers.
+    ROUND_RETRY_US = 4_000_000
+
+    def trigger(self, hwg: HwgId, lwg: LwgId) -> None:
+        """Multicast MERGE-VIEWS on ``hwg`` (once per round, retried)."""
+        if hwg in self._requested:
+            return
+        self._requested.add(hwg)
+        self.merge_rounds += 1
+        self._round_token[hwg] = self._round_token.get(hwg, 0) + 1
+        token = self._round_token[hwg]
+        self.svc.trace("merge_views_triggered", hwg=hwg, lwg=lwg)
+        self.svc.hwg_send(hwg, MergeViewsMsg(lwg=lwg))
+
+        def retry() -> None:
+            if self._round_token.get(hwg) != token:
+                return  # a flush completed (or a newer round started)
+            if hwg not in self._requested and hwg not in self._responded:
+                return
+            self.svc.trace("merge_round_retry", hwg=hwg, lwg=lwg)
+            self._requested.discard(hwg)
+            self._responded.discard(hwg)
+            self.trigger(hwg, lwg)
+
+        self.svc.stack.set_timer(self.ROUND_RETRY_US, retry)
+
+    # ------------------------------------------------------------------
+    # Protocol messages (ordered on the HWG)
+    # ------------------------------------------------------------------
+    def on_merge_views(self, hwg: HwgId, message: MergeViewsMsg) -> None:
+        """Figure 5, lines 108-111."""
+        if hwg not in self._responded:
+            self._responded.add(hwg)
+            local_views = tuple(
+                entry.view
+                for entry in self.svc.table.local_lwgs_on(hwg)
+                if entry.view is not None
+            )
+            self.svc.hwg_send(
+                hwg, AllViewsMsg(lwg=message.lwg, sender=self.svc.node, views=local_views)
+            )
+        endpoint = self.svc.hwg_endpoint(hwg)
+        if endpoint is not None:
+            # "The coordinator of the HWG flushes the HWG" — a no-op at
+            # everyone else, and idempotent until a new view installs.
+            endpoint.force_refresh()
+
+    def on_all_views(self, hwg: HwgId, message: AllViewsMsg) -> None:
+        """Figure 5, lines 112-113: AV_p(hwg) := AV_p(hwg) ∪ V_q."""
+        per_lwg = self._collected.setdefault(hwg, {})
+        for view in message.views:
+            per_lwg.setdefault(view.group, {})[view.view_id] = view
+        # A straggler ALL-VIEWS (re-published after a view change) may
+        # reveal concurrency we have not merged yet: re-trigger.
+        for view in message.views:
+            local = self.svc.table.local(view.group)
+            if (
+                local is not None
+                and local.is_member
+                and local.hwg == hwg
+                and local.ancestors.concurrent_with_current(local.view, view.view_id)
+            ):
+                self.trigger(hwg, view.group)
+
+    def observe_view(self, hwg: HwgId, view: View) -> None:
+        """An ordered LWG view message was delivered during a merge round.
+
+        View installations ride the same total order as ALL-VIEWS and the
+        flush, so adding them to the collected set keeps it identical at
+        every member — this is what makes a view installed *after* a
+        member answered ALL-VIEWS (but before the flush) merge correctly
+        and uniformly.
+        """
+        if hwg in self._responded or hwg in self._requested:
+            per_lwg = self._collected.setdefault(hwg, {})
+            per_lwg.setdefault(view.group, {})[view.view_id] = view
+
+    # ------------------------------------------------------------------
+    # The flush point (Figure 5, lines 114-118)
+    # ------------------------------------------------------------------
+    def on_hwg_view(self, hwg: HwgId, view: View) -> None:
+        """An HWG view installed: merge everything collected for it."""
+        collected = self._collected.pop(hwg, {})
+        self._requested.discard(hwg)
+        self._responded.discard(hwg)
+        self._round_token[hwg] = self._round_token.get(hwg, 0) + 1
+        if not collected:
+            return
+        alive = set(view.members)
+        for lwg, views_by_id in sorted(collected.items()):
+            self._merge_one(hwg, view, lwg, views_by_id, alive)
+
+    def _merge_one(
+        self,
+        hwg: HwgId,
+        hwg_view: View,
+        lwg: LwgId,
+        views_by_id: Dict[ViewId, View],
+        alive: Set[str],
+    ) -> None:
+        # Every input below is identical at every member (the collected
+        # set is equalised by the flush), so the merge is a pure function
+        # of common knowledge — the "decentralized and deterministic"
+        # requirement of Figure 5.  No node-local state (our ancestor
+        # tracker, our current view) may influence the candidate set:
+        # node-dependent inputs make different members mint *different*
+        # merged views, which then look mutually concurrent and feed an
+        # unbounded merge storm.
+        #
+        # 1. Views with members that did not survive the flush are left
+        #    for the restriction path (a later round unifies the rest).
+        candidates = [v for v in views_by_id.values() if set(v.members) <= alive]
+        # 2. Intra-set staleness: a collected view that is an ancestor of
+        #    another collected view (judged by the parent chains present
+        #    in the set itself) is superseded, not concurrent.
+        ids = {v.view_id for v in candidates}
+        parent_map = {v.view_id: v.parents for v in candidates}
+        stale: Set[ViewId] = set()
+        for view in candidates:
+            stack = list(view.parents)
+            seen: Set[ViewId] = set()
+            while stack:
+                parent = stack.pop()
+                if parent in seen:
+                    continue
+                seen.add(parent)
+                if parent in ids:
+                    stale.add(parent)
+                stack.extend(parent_map.get(parent, ()))
+        candidates = [v for v in candidates if v.view_id not in stale]
+        if len({v.view_id for v in candidates}) < 2:
+            # One survivor: nothing to merge — but if *our* view was among
+            # the stale set, the survivor is a successor of ours that we
+            # never installed (we lagged a previous merge flush, e.g. we
+            # entered the HWG view just after it).  Adopt it, exactly as
+            # if its installation message had reached us.
+            local = self.svc.table.local(lwg)
+            if (
+                len(candidates) == 1
+                and local is not None
+                and local.is_member
+                and local.hwg == hwg
+                and local.view is not None
+                and local.view.view_id in stale
+                and local.view.view_id != candidates[0].view_id
+                and self.svc.node in candidates[0].members
+            ):
+                self.svc.trace(
+                    "lwg_view_adopted",
+                    lwg=lwg,
+                    hwg=hwg,
+                    adopted=str(candidates[0].view_id),
+                )
+                self.svc.install_local_view(local, candidates[0], reason="adopt")
+            return
+        merged = merge_lwg_views(lwg, sorted(candidates, key=lambda v: v.view_id))
+        self.svc.trace(
+            "lwg_views_merged",
+            lwg=lwg,
+            hwg=hwg,
+            merged=str(merged.view_id),
+            parents=[str(p) for p in merged.parents],
+            members=list(merged.members),
+        )
+        self.merges_completed += 1
+        self.svc.table.dir_for(hwg).record_view(merged)
+        local = self.svc.table.local(lwg)
+        if (
+            local is None
+            or not local.is_member
+            or local.hwg != hwg  # we switched away mid-round
+            or self.svc.node not in merged.members
+        ):
+            return
+        assert local.view is not None
+        if local.view.view_id == merged.view_id:
+            return
+        if local.view.view_id not in merged.parents:
+            # Our lineage was not part of this round's common knowledge.
+            # With minting deferred during rounds this cannot happen in
+            # steady state, but a round that straddled our own switch or
+            # restriction may still race: skip rather than break the
+            # delivered-set continuity; the next round includes us.
+            self.svc.trace(
+                "merge_skipped_foreign_lineage", lwg=lwg, merged=str(merged.view_id)
+            )
+            return
+        self.svc.install_local_view(local, merged, reason="merge")
+
+
+class ReconciliationHandler:
+    """Steps 1-2: act on MULTIPLE-MAPPINGS callbacks (Section 6.2)."""
+
+    def __init__(self, service):
+        self.svc = service
+        self.callbacks_received = 0
+        self.switches_initiated = 0
+
+    def on_multiple_mappings(self, message: MultipleMappings) -> None:
+        self.callbacks_received += 1
+        local = self.svc.table.local(message.lwg)
+        if local is None or not local.is_member or local.view is None:
+            return
+        if local.coordinator() != self.svc.node:
+            return  # only the view coordinator reconciles
+        if local.switch_epoch is not None:
+            return  # already switching
+        live = [r for r in message.records if not r.deleted]
+        my_record = [r for r in live if r.lwg_view == local.view.view_id]
+        if not my_record:
+            return  # the callback is about views we already superseded
+        winner = highest_gid({r.hwg for r in live})
+        if winner is None or winner == local.hwg:
+            # We are on the highest-gid HWG: keep the mapping (the other
+            # views switch to us).
+            return
+        self.svc.trace(
+            "reconcile_switch",
+            lwg=message.lwg,
+            from_hwg=local.hwg,
+            to_hwg=winner,
+        )
+        self.switches_initiated += 1
+        self.svc.start_switch(local, winner, reason="reconciliation")

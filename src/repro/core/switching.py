@@ -1,0 +1,126 @@
+"""The switching protocol: re-mapping an LWG between HWGs at run time.
+
+The switch is the run-time corrective of the dynamic service (triggered
+by the Figure-1 rules) *and* the reconciliation mechanism of Section 6.2
+(triggered by MULTIPLE-MAPPINGS callbacks).  It preserves the LWG's
+virtual synchrony by using the old HWG's total order as the cut:
+
+1. ``SwitchStart`` (ordered on the old HWG) — members suspend new LWG
+   sends (buffering them) and join the target HWG;
+2. each member multicasts ``SwitchReady`` (on the old HWG) once its
+   membership of the target HWG is installed;
+3. when every member is ready, the coordinator multicasts
+   ``SwitchCommit`` — totally ordered, so every member cuts over after
+   delivering exactly the same set of LWG messages.  Remaining old-HWG
+   members install a *forward pointer*; buffered sends flow on the new
+   HWG; the coordinator re-registers the mapping in the naming service.
+
+Crucially the LWG *view identifier does not change* across a switch —
+Table 4 (stage 3) shows ``lwg_a`` and ``lwg'_a`` keeping their ids while
+moving onto ``hwg''_1``.  Only the view-to-view mapping is rewritten.
+
+A switch that cannot complete (member crash, target unreachable) is
+aborted by the coordinator after a timeout; members also clear stale
+switch state on their own timer so a dead coordinator cannot wedge them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..naming.records import HwgId, LwgId
+from ..vsync.membership import EndpointState
+from .mapping_table import LocalLwg
+from .messages import SwitchAbort, SwitchCommit, SwitchReady, SwitchStart
+
+
+class SwitchDriver:
+    """Coordinator-side state machine for one switch of one LWG."""
+
+    def __init__(self, service, local: LocalLwg, to_hwg: Optional[HwgId], reason: str):
+        self.svc = service
+        self.local = local
+        self.lwg: LwgId = local.lwg
+        assert local.view is not None and local.hwg is not None
+        self.from_hwg: HwgId = local.hwg
+        self.to_hwg: HwgId = to_hwg or service.mint_hwg_id()
+        self.reason = reason
+        self.epoch = service.next_switch_epoch()
+        self.ready: Set[str] = set()
+        self.committed = False
+        self.aborted = False
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.svc.trace(
+            "switch_start",
+            lwg=self.lwg,
+            from_hwg=self.from_hwg,
+            to_hwg=self.to_hwg,
+            reason=self.reason,
+            epoch=self.epoch,
+        )
+        assert self.local.view is not None
+        message = SwitchStart(
+            lwg=self.lwg,
+            view_id=self.local.view.view_id,
+            from_hwg=self.from_hwg,
+            to_hwg=self.to_hwg,
+            epoch=self.epoch,
+        )
+        self.svc.hwg_send(self.from_hwg, message)
+        self._timer = self.svc.stack.set_timer(
+            self.svc.config.switch_timeout_us, self._timeout
+        )
+
+    def _timeout(self) -> None:
+        if not self.committed and not self.aborted:
+            self.abort("timeout")
+
+    def abort(self, why: str) -> None:
+        """Give up: members resume LWG traffic on the old HWG."""
+        self.aborted = True
+        if self._timer is not None:
+            self._timer.cancel()
+        self.svc.trace("switch_abort", lwg=self.lwg, epoch=self.epoch, why=why)
+        assert self.local.view is not None
+        self.svc.hwg_send(
+            self.from_hwg,
+            SwitchAbort(lwg=self.lwg, view_id=self.local.view.view_id, epoch=self.epoch),
+        )
+
+    # ------------------------------------------------------------------
+    # Events (routed by the service from ordered old-HWG traffic)
+    # ------------------------------------------------------------------
+    def on_ready(self, message: SwitchReady) -> None:
+        if message.epoch != self.epoch or self.committed or self.aborted:
+            return
+        self.ready.add(message.member)
+        self._check_complete()
+
+    def on_lwg_view_changed(self) -> None:
+        """The LWG view shrank mid-switch (restriction): recheck readiness."""
+        if not self.committed and not self.aborted:
+            self._check_complete()
+
+    def _check_complete(self) -> None:
+        assert self.local.view is not None
+        needed = set(self.local.view.members)
+        if needed <= self.ready:
+            self.committed = True
+            if self._timer is not None:
+                self._timer.cancel()
+            self.svc.hwg_send(
+                self.from_hwg,
+                SwitchCommit(
+                    lwg=self.lwg,
+                    view_id=self.local.view.view_id,
+                    to_hwg=self.to_hwg,
+                    epoch=self.epoch,
+                ),
+            )
+
+    @property
+    def finished(self) -> bool:
+        return self.committed or self.aborted

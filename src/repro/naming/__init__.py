@@ -1,0 +1,31 @@
+"""Partitionable naming service (paper Section 5.2).
+
+A weakly-consistent replicated database of view-to-view mappings
+(LWG view -> HWG view) with the Table-2 client interface, eager push +
+anti-entropy replication, reconciliation on partition heal, genealogy-
+driven garbage collection and MULTIPLE-MAPPINGS conflict callbacks.
+"""
+
+from .callbacks import ConflictNotifier
+from .client import NamingClient
+from .database import NamingDatabase
+from .messages import MultipleMappings, NsRequest, NsResponse
+from .records import HwgId, LwgId, MappingRecord
+from .reconciliation import ReconcileResult, absorb, databases_consistent
+from .server import NameServer
+
+__all__ = [
+    "ConflictNotifier",
+    "NamingClient",
+    "NamingDatabase",
+    "MultipleMappings",
+    "NsRequest",
+    "NsResponse",
+    "HwgId",
+    "LwgId",
+    "MappingRecord",
+    "ReconcileResult",
+    "absorb",
+    "databases_consistent",
+    "NameServer",
+]

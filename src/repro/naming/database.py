@@ -1,0 +1,141 @@
+"""The per-server naming database.
+
+Stores :class:`~repro.naming.records.MappingRecord` entries keyed by
+``(lwg, lwg_view)`` plus the LWG-view genealogy DAG.  All mutation paths
+funnel through :meth:`apply` (last-writer-wins per key) followed by
+:meth:`garbage_collect` — a record is obsolete once its LWG view is a
+strict ancestor of another *recorded* view of the same LWG, which is how
+the paper discards stale mappings after merges ("the naming service
+must be aware of the partial order of views").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..vsync.view import ViewGenealogy, ViewId
+from .records import HwgId, LwgId, MappingRecord, RecordKey
+
+
+class NamingDatabase:
+    """One replica's record store with genealogy-driven GC."""
+
+    def __init__(self) -> None:
+        self._records: Dict[RecordKey, MappingRecord] = {}
+        self.genealogy = ViewGenealogy()
+        self.applied = 0
+        self.gc_removed = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        record: MappingRecord,
+        parents: Iterable[ViewId] = (),
+    ) -> bool:
+        """Insert/update ``record``; returns True if the store changed.
+
+        ``parents`` are the parent LWG views of ``record.lwg_view``; they
+        feed the genealogy so earlier mappings of the same LWG can be
+        garbage-collected.
+        """
+        parents = tuple(parents)
+        if parents:
+            self.genealogy.record(record.lwg_view, parents)
+        existing = self._records.get(record.key)
+        if existing is not None and not record.newer_than(existing):
+            return False
+        self._records[record.key] = record
+        self.applied += 1
+        self.garbage_collect(record.lwg)
+        return True
+
+    def garbage_collect(self, lwg: Optional[LwgId] = None) -> int:
+        """Drop records whose LWG view is an ancestor of a newer recorded view.
+
+        Restricted to one LWG when given; returns the number removed.
+        """
+        removed = 0
+        targets = (
+            [lwg] if lwg is not None else sorted({l for l, _ in self._records})
+        )
+        for target in targets:
+            keys = [k for k in self._records if k[0] == target]
+            views = [k[1] for k in keys]
+            for key in keys:
+                _, view = key
+                if any(
+                    other != view and self.genealogy.is_ancestor(view, other)
+                    for other in views
+                ):
+                    del self._records[key]
+                    removed += 1
+        self.gc_removed += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def live_records(self, lwg: LwgId) -> List[MappingRecord]:
+        """Every non-deleted mapping currently stored for ``lwg``."""
+        return sorted(
+            (
+                r
+                for (l, _), r in self._records.items()
+                if l == lwg and not r.deleted
+            ),
+            key=lambda r: (r.lwg_view, r.hwg_view),
+        )
+
+    def record_for(self, key: RecordKey) -> Optional[MappingRecord]:
+        return self._records.get(key)
+
+    def lwgs(self) -> Set[LwgId]:
+        """All LWGs with at least one live record."""
+        return {l for (l, _), r in self._records.items() if not r.deleted}
+
+    def conflicts(self) -> Dict[LwgId, List[MappingRecord]]:
+        """LWGs whose live views are mapped onto *different* HWGs.
+
+        These are the "inconsistent mappings" of Section 5.2: concurrent
+        views of one LWG in different heavy-weight groups.  Concurrent
+        views co-mapped on the *same* HWG are not conflicts — they merge
+        through local peer discovery without naming-service involvement.
+        """
+        out: Dict[LwgId, List[MappingRecord]] = {}
+        for lwg in self.lwgs():
+            records = self.live_records(lwg)
+            if len({r.hwg for r in records}) > 1:
+                out[lwg] = records
+        return out
+
+    # ------------------------------------------------------------------
+    # Replication support
+    # ------------------------------------------------------------------
+    def digest(self) -> Dict[RecordKey, tuple]:
+        """Compact summary for anti-entropy: key -> LWW order key."""
+        return {k: r.order_key() for k, r in self._records.items()}
+
+    def records_missing_from(self, digest: Dict[RecordKey, tuple]) -> List[MappingRecord]:
+        """Records we hold that the digest lacks or holds older."""
+        out = []
+        for key, record in self._records.items():
+            theirs = digest.get(key)
+            if theirs is None or record.order_key() > theirs:
+                out.append(record)
+        return out
+
+    def genealogy_edges(self) -> Dict[ViewId, Tuple[ViewId, ...]]:
+        return self.genealogy.edges()
+
+    def absorb_genealogy(self, edges: Dict[ViewId, Tuple[ViewId, ...]]) -> None:
+        for child, parents in edges.items():
+            self.genealogy.record(child, parents)
+
+    def snapshot(self) -> List[MappingRecord]:
+        """Every stored record (tests / reporting)."""
+        return sorted(self._records.values(), key=lambda r: (r.lwg, r.lwg_view))
+
+    def __len__(self) -> int:
+        return len(self._records)

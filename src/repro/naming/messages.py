@@ -1,0 +1,125 @@
+"""Wire messages of the naming service: client RPC, anti-entropy, callbacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..vsync.view import ProcessId, ViewId
+from .records import HwgId, LwgId, MappingRecord, RecordKey
+
+
+@dataclass(frozen=True)
+class NamingMessage:
+    """Base class for all naming-service traffic."""
+
+    def size_bytes(self) -> int:
+        return 128
+
+
+# ----------------------------------------------------------------------
+# Client RPC (Table 2: ns.set / ns.read / ns.testset, view-augmented)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NsRequest(NamingMessage):
+    """Client -> server RPC request.
+
+    ``op`` is one of ``set``, ``read``, ``testset``, ``unset``.  For
+    ``set``/``testset`` the record to (conditionally) install rides in
+    ``record`` with its LWG-view parents in ``parents``; ``read`` only
+    needs ``lwg``.
+    """
+
+    request_id: int = 0
+    client: ProcessId = ""
+    op: str = "read"
+    lwg: LwgId = ""
+    record: Optional[MappingRecord] = None
+    parents: Tuple[ViewId, ...] = ()
+
+
+@dataclass(frozen=True)
+class NsResponse(NamingMessage):
+    """Server -> client RPC reply: the live records for the LWG."""
+
+    request_id: int = 0
+    server: ProcessId = ""
+    records: Tuple[MappingRecord, ...] = ()
+
+    def size_bytes(self) -> int:
+        return 96 + 96 * len(self.records)
+
+
+# ----------------------------------------------------------------------
+# Anti-entropy between servers (push-pull, 3 messages)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyncRequest(NamingMessage):
+    """Server A -> server B: my digest; tell me what I'm missing."""
+
+    sender: ProcessId = ""
+    sync_id: int = 0
+    digest: Dict[RecordKey, Tuple[int, str]] = field(default_factory=dict)
+    genealogy_children: Tuple[ViewId, ...] = ()
+
+    def size_bytes(self) -> int:
+        return 96 + 48 * len(self.digest) + 16 * len(self.genealogy_children)
+
+
+@dataclass(frozen=True)
+class SyncReply(NamingMessage):
+    """B -> A: records/edges A lacks, plus B's digest so A can push back."""
+
+    sender: ProcessId = ""
+    sync_id: int = 0
+    records: Tuple[MappingRecord, ...] = ()
+    genealogy: Dict[ViewId, Tuple[ViewId, ...]] = field(default_factory=dict)
+    digest: Dict[RecordKey, Tuple[int, str]] = field(default_factory=dict)
+    genealogy_children: Tuple[ViewId, ...] = ()
+
+    def size_bytes(self) -> int:
+        return 96 + 96 * len(self.records) + 48 * len(self.digest)
+
+
+@dataclass(frozen=True)
+class SyncUpdate(NamingMessage):
+    """A -> B: the records/edges B turned out to be missing."""
+
+    sender: ProcessId = ""
+    sync_id: int = 0
+    records: Tuple[MappingRecord, ...] = ()
+    genealogy: Dict[ViewId, Tuple[ViewId, ...]] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return 96 + 96 * len(self.records)
+
+
+@dataclass(frozen=True)
+class PushUpdate(NamingMessage):
+    """Eager write propagation: server -> every reachable peer server."""
+
+    sender: ProcessId = ""
+    records: Tuple[MappingRecord, ...] = ()
+    genealogy: Dict[ViewId, Tuple[ViewId, ...]] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return 96 + 96 * len(self.records)
+
+
+# ----------------------------------------------------------------------
+# Callbacks (Section 6.1: global peer discovery)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MultipleMappings(NamingMessage):
+    """Server -> LWG-view coordinators: your LWG has inconsistent mappings.
+
+    "The message contains all the mappings stored for the LWG in the
+    name server" (Section 6.1).
+    """
+
+    lwg: LwgId = ""
+    records: Tuple[MappingRecord, ...] = ()
+    server: ProcessId = ""
+
+    def size_bytes(self) -> int:
+        return 96 + 96 * len(self.records)

@@ -1,0 +1,83 @@
+"""Database reconciliation when name servers reconnect.
+
+"When name servers become reachable by other name servers after a
+network partition has been healed, a database reconciliation procedure
+needs to be performed.  Mappings that are known in one view and not
+known in the other view are simply propagated" (Section 5.2) — and
+because records are per-``(lwg, lwg_view)`` single-writer entries,
+propagation plus genealogy GC is a complete merge: truly *conflicting*
+mappings (concurrent views on different HWGs) are not resolved here but
+surfaced through MULTIPLE-MAPPINGS callbacks for the LWG layer to
+reconcile (Section 6.2).
+
+This module holds the pure merge arithmetic used by the server's
+anti-entropy exchange, so it can be unit-tested and benchmarked without
+a network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..vsync.view import ViewId
+from .database import NamingDatabase
+from .records import LwgId, MappingRecord, RecordKey
+
+Digest = Dict[RecordKey, Tuple[int, str]]
+
+
+@dataclass
+class ReconcileResult:
+    """Outcome of absorbing a batch of remote records/genealogy."""
+
+    applied: int = 0
+    ignored: int = 0
+    gc_removed: int = 0
+    touched_lwgs: Set[LwgId] = field(default_factory=set)
+
+
+def absorb(
+    db: NamingDatabase,
+    records: Iterable[MappingRecord],
+    genealogy: Dict[ViewId, Tuple[ViewId, ...]],
+) -> ReconcileResult:
+    """Merge remote ``records`` and ``genealogy`` edges into ``db``.
+
+    Genealogy is absorbed first so that garbage collection triggered by
+    record insertion already sees the full ancestry.
+    """
+    result = ReconcileResult()
+    db.absorb_genealogy(genealogy)
+    for record in records:
+        if db.apply(record):
+            result.applied += 1
+            result.touched_lwgs.add(record.lwg)
+        else:
+            result.ignored += 1
+    # A genealogy-only update can also obsolete existing records.
+    result.gc_removed = db.garbage_collect()
+    return result
+
+
+def records_to_send(db: NamingDatabase, remote_digest: Digest) -> List[MappingRecord]:
+    """Records the remote replica lacks or holds in an older version."""
+    return db.records_missing_from(remote_digest)
+
+
+def genealogy_to_send(
+    db: NamingDatabase, remote_children: Iterable[ViewId]
+) -> Dict[ViewId, Tuple[ViewId, ...]]:
+    """Genealogy edges whose child view the remote replica has not seen."""
+    known = set(remote_children)
+    return {
+        child: parents
+        for child, parents in db.genealogy_edges().items()
+        if child not in known
+    }
+
+
+def databases_consistent(replicas: Iterable[NamingDatabase]) -> bool:
+    """True if every replica stores exactly the same records (test helper)."""
+    snapshots = [tuple(db.snapshot()) for db in replicas]
+    return all(s == snapshots[0] for s in snapshots[1:])

@@ -1,0 +1,183 @@
+"""The replicated name server process.
+
+Each :class:`NameServer` is a simulated process holding a full replica
+of the naming database.  Replicas are kept loosely consistent by
+
+* **eager push** — every accepted write is immediately pushed to all
+  peer servers (best effort; drops across a partition), and
+* **periodic anti-entropy** — a three-message push-pull digest exchange
+  with one peer per gossip tick, which is also what reconciles the
+  databases after a partition heals (no special heal-detection needed:
+  the first gossip that crosses the healed cut *is* the reconciliation).
+
+After every mutation the server checks for inconsistent mappings and
+fires MULTIPLE-MAPPINGS callbacks at the affected LWG-view coordinators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..sim.network import NodeId
+from ..sim.process import Process, SimEnv
+from .callbacks import ConflictNotifier
+from .database import NamingDatabase
+from .messages import (
+    MultipleMappings,
+    NamingMessage,
+    NsRequest,
+    NsResponse,
+    PushUpdate,
+    SyncReply,
+    SyncRequest,
+    SyncUpdate,
+)
+from .reconciliation import absorb, genealogy_to_send, records_to_send
+
+
+class NameServer(Process):
+    """One naming-service replica."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        node: NodeId,
+        peers: Sequence[NodeId] = (),
+        gossip_period_us: int = 500_000,
+        renotify_period_us: int = 600_000,
+    ):
+        super().__init__(env, node)
+        self.db = NamingDatabase()
+        self.peers: List[NodeId] = [p for p in peers if p != node]
+        self.notifier = ConflictNotifier(
+            server_id=node,
+            send=self._send_callback,
+            clock=lambda: env.now,
+            renotify_period_us=renotify_period_us,
+        )
+        self._gossip_index = 0
+        self._sync_counter = 0
+        self.requests_served = 0
+        self.syncs_started = 0
+        if self.peers:
+            self.set_periodic(gossip_period_us, self.gossip_tick, jitter_stream=f"ns:{node}")
+        self.set_periodic(renotify_period_us, self._notifier_tick)
+
+    def add_peer(self, peer: NodeId) -> None:
+        """Introduce another replica (scenario construction helper)."""
+        if peer != self.node and peer not in self.peers:
+            self.peers.append(peer)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    def on_message(self, src: NodeId, msg: Any, size: int) -> None:
+        if isinstance(msg, NsRequest):
+            self._serve(src, msg)
+        elif isinstance(msg, SyncRequest):
+            self._on_sync_request(src, msg)
+        elif isinstance(msg, SyncReply):
+            self._on_sync_reply(src, msg)
+        elif isinstance(msg, (SyncUpdate, PushUpdate)):
+            self._absorb_remote(msg.records, msg.genealogy)
+
+    # ------------------------------------------------------------------
+    # Client RPC
+    # ------------------------------------------------------------------
+    def _serve(self, src: NodeId, msg: NsRequest) -> None:
+        self.requests_served += 1
+        if msg.op == "set":
+            assert msg.record is not None
+            if self.db.apply(msg.record, msg.parents):
+                self._push_write(msg)
+        elif msg.op == "testset":
+            assert msg.record is not None
+            existing = self.db.live_records(msg.record.lwg)
+            if not existing:
+                # No live mapping known here: install the proposal.
+                if self.db.apply(msg.record, msg.parents):
+                    self._push_write(msg)
+        elif msg.op == "unset":
+            assert msg.record is not None
+            if self.db.apply(msg.record, msg.parents):
+                self._push_write(msg)
+        elif msg.op != "read":
+            raise ValueError(f"unknown naming op {msg.op!r}")
+        records = tuple(self.db.live_records(msg.lwg))
+        response = NsResponse(request_id=msg.request_id, server=self.node, records=records)
+        self.send(src, response, response.size_bytes())
+        self.notifier.check(self.db)
+
+    def _push_write(self, msg: NsRequest) -> None:
+        if not self.peers:
+            return
+        assert msg.record is not None
+        parents = {msg.record.lwg_view: tuple(msg.parents)} if msg.parents else {}
+        push = PushUpdate(sender=self.node, records=(msg.record,), genealogy=parents)
+        self.multicast(set(self.peers), push, push.size_bytes())
+
+    # ------------------------------------------------------------------
+    # Anti-entropy
+    # ------------------------------------------------------------------
+    def gossip_tick(self) -> None:
+        """Start a push-pull exchange with the next peer (round-robin)."""
+        if not self.peers:
+            return
+        peer = self.peers[self._gossip_index % len(self.peers)]
+        self._gossip_index += 1
+        self._sync_counter += 1
+        self.syncs_started += 1
+        request = SyncRequest(
+            sender=self.node,
+            sync_id=self._sync_counter,
+            digest=self.db.digest(),
+            genealogy_children=tuple(self.db.genealogy_edges()),
+        )
+        self.send(peer, request, request.size_bytes())
+
+    def _on_sync_request(self, src: NodeId, msg: SyncRequest) -> None:
+        reply = SyncReply(
+            sender=self.node,
+            sync_id=msg.sync_id,
+            records=tuple(records_to_send(self.db, msg.digest)),
+            genealogy=genealogy_to_send(self.db, msg.genealogy_children),
+            digest=self.db.digest(),
+            genealogy_children=tuple(self.db.genealogy_edges()),
+        )
+        self.send(src, reply, reply.size_bytes())
+
+    def _on_sync_reply(self, src: NodeId, msg: SyncReply) -> None:
+        self._absorb_remote(msg.records, msg.genealogy)
+        update = SyncUpdate(
+            sender=self.node,
+            sync_id=msg.sync_id,
+            records=tuple(records_to_send(self.db, msg.digest)),
+            genealogy=genealogy_to_send(self.db, msg.genealogy_children),
+        )
+        if update.records or update.genealogy:
+            self.send(src, update, update.size_bytes())
+
+    def _absorb_remote(self, records, genealogy) -> None:
+        result = absorb(self.db, records, genealogy)
+        if result.applied or result.gc_removed:
+            self.env.tracer.emit(
+                "naming",
+                "reconciled",
+                server=self.node,
+                applied=result.applied,
+                gc_removed=result.gc_removed,
+                lwgs=sorted(result.touched_lwgs),
+            )
+        self.notifier.check(self.db)
+
+    # ------------------------------------------------------------------
+    # Callbacks
+    # ------------------------------------------------------------------
+    def _send_callback(self, target: NodeId, message: MultipleMappings) -> None:
+        self.env.tracer.emit(
+            "naming", "multiple_mappings", server=self.node, lwg=message.lwg, target=target
+        )
+        self.send(target, message, message.size_bytes())
+
+    def _notifier_tick(self) -> None:
+        self.notifier.check(self.db)

@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+This package stands in for the paper's physical testbed (Sparc10
+workstations on a loaded 10 Mbps Ethernet): a deterministic event loop,
+a partitionable broadcast network with latency/bandwidth/receive-cost
+modelling, crash injection and scripted partition schedules.
+"""
+
+from .engine import MS, SECOND, EventHandle, Simulation, SimulationError
+from .failure import FailureEvent, FailureInjector
+from .network import LinkModel, Network, NodeId
+from .partition import PartitionEvent, PartitionSchedule
+from .process import Process, SimEnv
+from .rng import RngRegistry
+from .trace import NullTracer, TraceRecord, Tracer
+from .transport import ReliableTransport
+
+__all__ = [
+    "MS",
+    "SECOND",
+    "EventHandle",
+    "Simulation",
+    "SimulationError",
+    "FailureEvent",
+    "FailureInjector",
+    "LinkModel",
+    "Network",
+    "NodeId",
+    "PartitionEvent",
+    "PartitionSchedule",
+    "Process",
+    "SimEnv",
+    "RngRegistry",
+    "NullTracer",
+    "TraceRecord",
+    "Tracer",
+    "ReliableTransport",
+]

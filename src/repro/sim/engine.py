@@ -1,0 +1,155 @@
+"""Deterministic discrete-event simulation engine.
+
+Time is measured in integer microseconds.  Events scheduled at the same
+instant fire in insertion order, which — together with the seeded RNG in
+:mod:`repro.sim.rng` — makes every run exactly reproducible from its seed.
+
+The engine is intentionally minimal: a priority queue of ``(time, seq,
+callback)`` entries plus cancellation handles.  Everything above it
+(network, processes, protocol stacks) is built from ``schedule`` calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+#: One millisecond expressed in the engine's integer-microsecond time base.
+MS = 1_000
+#: One second expressed in the engine's integer-microsecond time base.
+SECOND = 1_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Cancellation handle for a scheduled event.
+
+    Cancellation is lazy: the entry stays in the heap but is skipped when
+    popped.  ``fired`` distinguishes "already executed" from "cancelled".
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+        self.callback = None
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled to fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
+
+
+class Simulation:
+    """A single-threaded discrete-event simulation.
+
+    Usage::
+
+        sim = Simulation()
+        sim.schedule(10 * MS, lambda: print("at 10ms"))
+        sim.run_until(1 * SECOND)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[EventHandle] = []
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}us in the past")
+        return self.schedule_at(self._now + int(delay), callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}us, now is t={self._now}us"
+            )
+        handle = EventHandle(int(time), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def _pop_runnable(self) -> Optional[EventHandle]:
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns False when the queue is empty.
+        """
+        handle = self._pop_runnable()
+        if handle is None:
+            return False
+        self._now = handle.time
+        handle.fired = True
+        callback, handle.callback = handle.callback, None
+        assert callback is not None
+        callback()
+        return True
+
+    def run_until(self, time: int) -> None:
+        """Run every event with timestamp ``<= time``; advance clock to ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to t={time}us")
+        while self._queue:
+            head = self._peek()
+            if head is None or head.time > time:
+                break
+            self.step()
+        self._now = max(self._now, int(time))
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue drains.  Returns the number of events run.
+
+        ``max_events`` is a runaway-protocol backstop; exceeding it raises.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway protocol?")
+        return count
+
+    def _peek(self) -> Optional[EventHandle]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulation(now={self._now}us, pending={self.pending_events})"

@@ -1,0 +1,266 @@
+"""Simulated network: topology, latency/bandwidth model, partitions, multicast.
+
+The model reproduces the first-order costs of the paper's testbed (a
+loaded 10 Mbps shared Ethernet with IP multicast):
+
+* **Shared medium** — transmissions optionally serialize on one global
+  channel, so unrelated traffic delays everyone (the paper's
+  "interference through a common multicast transport channel").
+* **Multicast** — one transmission reaches any number of destinations
+  (IP-multicast semantics); the *receivers* each pay a per-message
+  processing cost, so delivering a message to processes that will only
+  filter it out is not free (the paper's "need to filter information at
+  the LWG layer").
+* **Partitions** — nodes are assigned to partition blocks; messages
+  between blocks are dropped both at send and at delivery time, so a
+  partition event cuts messages already in flight.
+
+Delivery callbacks are registered per node via :meth:`Network.attach`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .engine import Simulation
+from .rng import RngRegistry
+from .trace import Tracer
+
+NodeId = str
+DeliveryCallback = Callable[[NodeId, Any, int], None]  # (src, payload, size)
+
+
+@dataclass
+class LinkModel:
+    """Cost model for message transmission and reception.
+
+    Attributes:
+        latency_us: one-way propagation latency in microseconds.
+        jitter_us: uniform jitter added to the latency, ``[0, jitter_us]``.
+        bandwidth_bps: channel bandwidth in bits per second; serialization
+            delay for a message of ``size`` bytes is ``size*8/bandwidth``.
+        per_message_overhead_bytes: fixed framing overhead added to every
+            message before the serialization delay is computed.
+        rx_cost_us: receiver CPU cost to process one incoming message —
+            paid per destination, which is what makes over-wide multicast
+            groups expensive.
+        loss_probability: independent per-delivery drop probability
+            (unicast) or per-receiver drop probability (multicast).
+    """
+
+    latency_us: int = 500
+    jitter_us: int = 100
+    bandwidth_bps: int = 10_000_000
+    per_message_overhead_bytes: int = 64
+    rx_cost_us: int = 50
+    loss_probability: float = 0.0
+
+    def serialization_us(self, size: int) -> int:
+        """Time to put ``size`` bytes on the wire."""
+        total_bits = (size + self.per_message_overhead_bytes) * 8
+        return max(1, int(total_bits * 1_000_000 / self.bandwidth_bps))
+
+
+class Network:
+    """A partitionable broadcast-domain network of named nodes."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        rng: RngRegistry,
+        tracer: Optional[Tracer] = None,
+        link: Optional[LinkModel] = None,
+        shared_medium: bool = True,
+    ):
+        self.sim = sim
+        self.link = link or LinkModel()
+        self.shared_medium = shared_medium
+        self.tracer = tracer or Tracer(clock=lambda: sim.now, keep_records=False)
+        self._rng = rng.stream("network")
+        self._callbacks: Dict[NodeId, DeliveryCallback] = {}
+        self._alive: Dict[NodeId, bool] = {}
+        self._partition_of: Dict[NodeId, int] = {}
+        # Busy-until times for the serialization model.
+        self._medium_free_at = 0
+        self._egress_free_at: Dict[NodeId, int] = {}
+        self._rx_free_at: Dict[NodeId, int] = {}
+        # Counters for metrics.
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def attach(self, node: NodeId, callback: DeliveryCallback) -> None:
+        """Register ``node`` with its delivery callback.  Node starts alive."""
+        self._callbacks[node] = callback
+        self._alive[node] = True
+        self._partition_of.setdefault(node, 0)
+
+    def detach(self, node: NodeId) -> None:
+        """Remove ``node`` from the network entirely."""
+        self._callbacks.pop(node, None)
+        self._alive.pop(node, None)
+        self._partition_of.pop(node, None)
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """All attached node ids (alive or crashed)."""
+        return sorted(self._callbacks)
+
+    # ------------------------------------------------------------------
+    # Liveness (crash/recovery)
+    # ------------------------------------------------------------------
+    def is_alive(self, node: NodeId) -> bool:
+        """True if the node is attached and not crashed."""
+        return self._alive.get(node, False)
+
+    def set_alive(self, node: NodeId, alive: bool) -> None:
+        """Crash (``False``) or recover (``True``) a node."""
+        if node not in self._callbacks:
+            raise KeyError(f"unknown node {node!r}")
+        self._alive[node] = alive
+        self.tracer.emit("network", "crash" if not alive else "recover", node=node)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def set_partitions(self, blocks: Sequence[Iterable[NodeId]]) -> None:
+        """Partition the network into the given blocks of nodes.
+
+        Nodes not named in any block join block 0.  Messages only flow
+        within a block.
+        """
+        assignment: Dict[NodeId, int] = {}
+        for index, block in enumerate(blocks):
+            for node in block:
+                if node in assignment:
+                    raise ValueError(f"node {node!r} appears in two partition blocks")
+                assignment[node] = index
+        for node in self._callbacks:
+            self._partition_of[node] = assignment.get(node, 0)
+        self.tracer.emit(
+            "network", "partition",
+            blocks=[sorted(n for n in self._callbacks if self._partition_of[n] == i)
+                    for i in range(len(blocks) or 1)],
+        )
+
+    def heal(self) -> None:
+        """Merge all partition blocks back into one."""
+        for node in self._partition_of:
+            self._partition_of[node] = 0
+        self.tracer.emit("network", "heal")
+
+    def partition_blocks(self) -> List[FrozenSet[NodeId]]:
+        """Current partition blocks containing at least one node."""
+        by_block: Dict[int, set] = {}
+        for node, block in self._partition_of.items():
+            by_block.setdefault(block, set()).add(node)
+        return [frozenset(nodes) for _, nodes in sorted(by_block.items())]
+
+    def reachable(self, a: NodeId, b: NodeId) -> bool:
+        """True if a message sent now from ``a`` would be deliverable to ``b``."""
+        return (
+            self._alive.get(a, False)
+            and self._alive.get(b, False)
+            and self._partition_of.get(a) == self._partition_of.get(b)
+        )
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _transmission_start(self, src: NodeId, size: int) -> Tuple[int, int]:
+        """Reserve the medium; return (start_time, end_time) of serialization."""
+        serialization = self.link.serialization_us(size)
+        if self.shared_medium:
+            start = max(self.sim.now, self._medium_free_at)
+            end = start + serialization
+            self._medium_free_at = end
+        else:
+            start = max(self.sim.now, self._egress_free_at.get(src, 0))
+            end = start + serialization
+            self._egress_free_at[src] = end
+        return start, end
+
+    def _delivery_time(self, dst: NodeId, wire_done: int) -> int:
+        """Arrival + receiver-processing completion time for one delivery."""
+        jitter = self._rng.randint(0, self.link.jitter_us) if self.link.jitter_us else 0
+        arrival = wire_done + self.link.latency_us + jitter
+        rx_start = max(arrival, self._rx_free_at.get(dst, 0))
+        rx_done = rx_start + self.link.rx_cost_us
+        self._rx_free_at[dst] = rx_done
+        return rx_done
+
+    def _deliver(self, src: NodeId, dst: NodeId, payload: Any, size: int) -> None:
+        # Re-check reachability at delivery: a partition or crash that
+        # happened while the message was in flight drops it.
+        if not self.reachable(src, dst):
+            self.messages_dropped += 1
+            return
+        callback = self._callbacks.get(dst)
+        if callback is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        callback(src, payload, size)
+
+    def send(self, src: NodeId, dst: NodeId, payload: Any, size: int = 256) -> bool:
+        """Send a unicast message.  Returns False if dropped at the source."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if not self.reachable(src, dst):
+            self.messages_dropped += 1
+            return False
+        if self.link.loss_probability and self._rng.random() < self.link.loss_probability:
+            self.messages_dropped += 1
+            return False
+        _, wire_done = self._transmission_start(src, size)
+        done = self._delivery_time(dst, wire_done)
+        self.sim.schedule_at(done, lambda: self._deliver(src, dst, payload, size))
+        return True
+
+    def multicast(
+        self, src: NodeId, dsts: Iterable[NodeId], payload: Any, size: int = 256
+    ) -> int:
+        """Send one transmission to many destinations (IP-multicast model).
+
+        The medium is reserved once; every reachable destination pays its
+        own receive-processing cost.  Returns the number of scheduled
+        deliveries.
+        """
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if not self._alive.get(src, False):
+            self.messages_dropped += 1
+            return 0
+        _, wire_done = self._transmission_start(src, size)
+        scheduled = 0
+        for dst in dsts:
+            if dst == src:
+                # Loopback delivery skips the network but keeps rx cost.
+                done = self._delivery_time(dst, self.sim.now)
+                self.sim.schedule_at(done, self._make_delivery(src, dst, payload, size))
+                scheduled += 1
+                continue
+            if not self.reachable(src, dst):
+                continue
+            if self.link.loss_probability and self._rng.random() < self.link.loss_probability:
+                self.messages_dropped += 1
+                continue
+            done = self._delivery_time(dst, wire_done)
+            self.sim.schedule_at(done, self._make_delivery(src, dst, payload, size))
+            scheduled += 1
+        return scheduled
+
+    def _make_delivery(self, src: NodeId, dst: NodeId, payload: Any, size: int):
+        return lambda: self._deliver(src, dst, payload, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Network(nodes={len(self._callbacks)}, "
+            f"blocks={len(self.partition_blocks())}, "
+            f"sent={self.messages_sent}, delivered={self.messages_delivered})"
+        )

@@ -1,0 +1,165 @@
+"""Simulated processes (actors) and their environment bundle.
+
+A :class:`Process` owns a node on the network, receives messages through
+``on_message``, and manages timers that are automatically cancelled when
+the process crashes.  Protocol layers (failure detector, HWG endpoint,
+LWG layer, name server) are all built as processes or as components
+hosted by one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional
+
+from .engine import EventHandle, Simulation
+from .failure import FailureInjector
+from .network import Network, NodeId
+from .rng import RngRegistry
+from .trace import Tracer
+
+
+@dataclass
+class SimEnv:
+    """Everything a process needs to participate in a simulation."""
+
+    sim: Simulation
+    network: Network
+    rng: RngRegistry
+    tracer: Tracer
+    failures: FailureInjector
+
+    @classmethod
+    def create(
+        cls,
+        seed: int = 0,
+        link=None,
+        shared_medium: bool = True,
+        keep_trace: bool = True,
+    ) -> "SimEnv":
+        """Build a fresh simulation environment from a root seed."""
+        sim = Simulation()
+        rng = RngRegistry(seed)
+        tracer = Tracer(clock=lambda: sim.now, keep_records=keep_trace)
+        network = Network(sim, rng, tracer=tracer, link=link, shared_medium=shared_medium)
+        failures = FailureInjector(sim, network)
+        return cls(sim=sim, network=network, rng=rng, tracer=tracer, failures=failures)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in microseconds."""
+        return self.sim.now
+
+
+class Process:
+    """Base class for a simulated process bound to one network node."""
+
+    def __init__(self, env: SimEnv, node: NodeId):
+        self.env = env
+        self.node = node
+        self.crashed = False
+        self._timers: List[EventHandle] = []
+        #: (period, callback, jitter_stream) specs, re-armed on recovery.
+        self._periodic_specs: List[tuple] = []
+        env.network.attach(node, self._network_deliver)
+        env.failures.on_transition(node, self._on_transition)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: NodeId, msg: Any, size: int = 256) -> bool:
+        """Unicast ``msg`` to ``dst``.  No-op while crashed."""
+        if self.crashed:
+            return False
+        return self.env.network.send(self.node, dst, msg, size)
+
+    def multicast(self, dsts: Iterable[NodeId], msg: Any, size: int = 256) -> int:
+        """Multicast ``msg`` to every node in ``dsts`` (one transmission)."""
+        if self.crashed:
+            return 0
+        return self.env.network.multicast(self.node, dsts, msg, size)
+
+    def _network_deliver(self, src: NodeId, payload: Any, size: int) -> None:
+        if self.crashed:
+            return
+        self.on_message(src, payload, size)
+
+    def on_message(self, src: NodeId, msg: Any, size: int) -> None:
+        """Handle an incoming message.  Subclasses override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay`` us unless the process crashes first."""
+        handle = self.env.sim.schedule(delay, self._guard(callback))
+        self._timers.append(handle)
+        self._prune_timers()
+        return handle
+
+    def set_periodic(
+        self, period: int, callback: Callable[[], None], jitter_stream: str = ""
+    ) -> None:
+        """Run ``callback`` every ``period`` us until crash.
+
+        If ``jitter_stream`` names an RNG stream, each period is jittered
+        by up to 10% to avoid global phase-locking of periodic tasks.
+        Periodic tasks are re-armed automatically when the process
+        recovers from a crash.
+        """
+        self._periodic_specs.append((period, callback, jitter_stream))
+        self._start_periodic(period, callback, jitter_stream)
+
+    def _start_periodic(
+        self, period: int, callback: Callable[[], None], jitter_stream: str = ""
+    ) -> None:
+        rng = self.env.rng.stream(jitter_stream) if jitter_stream else None
+
+        def tick() -> None:
+            callback()
+            delay = period
+            if rng is not None:
+                delay += rng.randint(0, max(1, period // 10))
+            handle = self.env.sim.schedule(delay, self._guard(tick))
+            self._timers.append(handle)
+
+        first = period if rng is None else period + rng.randint(0, max(1, period // 10))
+        self._timers.append(self.env.sim.schedule(first, self._guard(tick)))
+
+    def _guard(self, callback: Callable[[], None]) -> Callable[[], None]:
+        def run() -> None:
+            if not self.crashed:
+                callback()
+
+        return run
+
+    def _prune_timers(self) -> None:
+        if len(self._timers) > 256:
+            self._timers = [t for t in self._timers if t.pending]
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def _on_transition(self, crashed: bool) -> None:
+        if crashed and not self.crashed:
+            self.crashed = True
+            for timer in self._timers:
+                timer.cancel()
+            self._timers.clear()
+            self.on_crash()
+        elif not crashed and self.crashed:
+            self.crashed = False
+            for period, callback, jitter_stream in self._periodic_specs:
+                self._start_periodic(period, callback, jitter_stream)
+            self.on_recover()
+
+    def on_crash(self) -> None:
+        """Hook invoked when this process fail-stops.  Subclasses may override."""
+
+    def on_recover(self) -> None:
+        """Hook invoked when this process recovers.  Subclasses may override."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}(node={self.node}, {state})"

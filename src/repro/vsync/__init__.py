@@ -1,0 +1,35 @@
+"""Partitionable virtually-synchronous group communication (HWG layer).
+
+This package is the substrate the paper assumes (Section 5.1): a group
+layer that "continues to deliver views in the presence of partitions,
+allowing groups to split into concurrent views when a partition occurs
+and these views to merge when the partition is healed", with flush-based
+view changes, totally-ordered multicast, view identifiers of the form
+``(coordinator, view-sequence-number)`` and view genealogy.
+"""
+
+from .failure_detector import FailureDetector
+from .hwg import HwgEndpoint, HwgListener
+from .locator import GroupAddressing
+from .membership import EndpointState, ViewChangeManager
+from .stack import ProtocolStack, VsyncConfig
+from .total_order import OrderedChannel
+from .view import GroupId, ProcessId, View, ViewGenealogy, ViewId, merge_member_order
+
+__all__ = [
+    "FailureDetector",
+    "HwgEndpoint",
+    "HwgListener",
+    "GroupAddressing",
+    "EndpointState",
+    "ViewChangeManager",
+    "ProtocolStack",
+    "VsyncConfig",
+    "OrderedChannel",
+    "GroupId",
+    "ProcessId",
+    "View",
+    "ViewGenealogy",
+    "ViewId",
+    "merge_member_order",
+]

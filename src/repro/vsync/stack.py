@@ -1,0 +1,190 @@
+"""Per-process protocol stack: transport, failure detector, endpoints.
+
+One :class:`ProtocolStack` runs on every simulated process.  It owns
+
+* a :class:`~repro.sim.transport.ReliableTransport` for control traffic,
+* one shared :class:`~repro.vsync.failure_detector.FailureDetector`
+  (shared across every group on the node — a resource the light-weight
+  group service deliberately does *not* duplicate per group), and
+* the node's :class:`~repro.vsync.hwg.HwgEndpoint` instances, one per
+  heavy-weight group, with message dispatch by group id.
+
+It also drives the periodic machinery: heartbeat emission, suspicion
+checks and presence beacons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Set
+
+from ..sim.network import NodeId
+from ..sim.process import Process, SimEnv
+from ..sim.transport import ReliableTransport
+from .failure_detector import FailureDetector
+from .hwg import HwgEndpoint, HwgListener
+from .locator import GroupAddressing
+from .messages import Heartbeat, VsyncMessage
+from .view import GroupId
+
+
+@dataclass
+class VsyncConfig:
+    """Tunable timers of the virtual-synchrony substrate (microseconds)."""
+
+    heartbeat_period_us: int = 100_000
+    fd_timeout_us: int = 350_000
+    fd_check_period_us: int = 50_000
+    beacon_period_us: int = 400_000
+    stability_period_us: int = 500_000
+    join_probe_timeout_us: int = 250_000
+    join_retry_us: int = 800_000
+    leave_retry_us: int = 800_000
+    retransmit_timeout_us: int = 20_000
+
+    def scaled(self, factor: float) -> "VsyncConfig":
+        """A copy with every timer multiplied by ``factor``."""
+        return VsyncConfig(
+            **{name: int(getattr(self, name) * factor) for name in vars(self)}
+        )
+
+
+class ProtocolStack(Process):
+    """All vsync machinery hosted by one simulated process."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        node: NodeId,
+        addressing: GroupAddressing,
+        config: Optional[VsyncConfig] = None,
+    ):
+        super().__init__(env, node)
+        self.addressing = addressing
+        self.config = config or VsyncConfig()
+        self.transport = ReliableTransport(
+            env, node, self._deliver_control,
+            retransmit_timeout_us=self.config.retransmit_timeout_us,
+        )
+        self.fd = FailureDetector(
+            env, node, self._fd_multicast,
+            heartbeat_period_us=self.config.heartbeat_period_us,
+            timeout_us=self.config.fd_timeout_us,
+        )
+        self.fd.subscribe(self._on_suspicion_change)
+        self.endpoints: Dict[GroupId, HwgEndpoint] = {}
+        # Components above vsync (naming client, LWG layer) register
+        # handlers here; a handler returning True consumes the message.
+        self.extra_handlers: list = []
+        self._view_seq = 0
+        self.set_periodic(
+            self.config.heartbeat_period_us,
+            self.fd.tick_heartbeat,
+            jitter_stream=f"hb:{node}",
+        )
+        self.set_periodic(self.config.fd_check_period_us, self.fd.tick_check)
+        self.set_periodic(
+            self.config.beacon_period_us, self._tick_beacons, jitter_stream=f"beacon:{node}"
+        )
+        self.set_periodic(
+            self.config.stability_period_us,
+            self._tick_stability,
+            jitter_stream=f"stability:{node}",
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoint management
+    # ------------------------------------------------------------------
+    def endpoint(self, group: GroupId, listener: Optional[HwgListener] = None) -> HwgEndpoint:
+        """Return (creating on first use) this node's endpoint for ``group``."""
+        ep = self.endpoints.get(group)
+        if ep is None:
+            ep = HwgEndpoint(self, group, listener)
+            self.endpoints[group] = ep
+        elif listener is not None:
+            ep.listener = listener
+        return ep
+
+    def drop_endpoint(self, group: GroupId) -> None:
+        """Forget an endpoint (after it left its group)."""
+        self.endpoints.pop(group, None)
+
+    def next_view_seq(self) -> int:
+        """Monotonic per-process counter for minting view identifiers."""
+        self._view_seq += 1
+        return self._view_seq
+
+    # ------------------------------------------------------------------
+    # Messaging helpers used by endpoints
+    # ------------------------------------------------------------------
+    def reliable_send(self, dst: NodeId, msg: VsyncMessage, size: int) -> None:
+        if dst == self.node:
+            # Local fast-path: still asynchronous to preserve event ordering.
+            self.env.sim.schedule(1, lambda: self._deliver_control(self.node, msg, size))
+            return
+        self.transport.send(dst, msg, size)
+
+    def raw_multicast(self, dsts: Set[NodeId], msg: VsyncMessage, size: int) -> None:
+        self.multicast(dsts, msg, size)
+
+    def _fd_multicast(self, peers: Set[NodeId], msg: Heartbeat, size: int) -> None:
+        self.multicast(peers, msg, msg.size_bytes())
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, src: NodeId, msg: Any, size: int) -> None:
+        self.fd.on_heartbeat(src)  # any traffic is evidence of liveness
+        if ReliableTransport.is_segment(msg):
+            self.transport.on_segment(src, msg)
+            return
+        self._dispatch(src, msg)
+
+    def _deliver_control(self, src: NodeId, msg: Any, size: int) -> None:
+        self._dispatch(src, msg)
+
+    def _dispatch(self, src: NodeId, msg: Any) -> None:
+        if isinstance(msg, Heartbeat):
+            return
+        for handler in self.extra_handlers:
+            if handler(src, msg):
+                return
+        if not isinstance(msg, VsyncMessage):
+            return
+        endpoint = self.endpoints.get(msg.group)
+        if endpoint is not None:
+            endpoint.on_message(src, msg)
+
+    def register_handler(self, handler) -> None:
+        """Register ``handler(src, msg) -> bool`` for non-vsync traffic."""
+        self.extra_handlers.append(handler)
+
+    # ------------------------------------------------------------------
+    # Periodic machinery
+    # ------------------------------------------------------------------
+    def _tick_beacons(self) -> None:
+        for endpoint in list(self.endpoints.values()):
+            endpoint.beacon()
+
+    def _tick_stability(self) -> None:
+        for endpoint in list(self.endpoints.values()):
+            endpoint.channel.tick_stability()
+
+    def _on_suspicion_change(self, peer: NodeId, suspected: bool) -> None:
+        for endpoint in list(self.endpoints.values()):
+            endpoint.on_suspicion_change(peer, suspected)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        self.transport.stop()
+        self.addressing.unsubscribe_all(self.node)
+        self.endpoints.clear()
+        self.fd.reset()
+
+    def on_recover(self) -> None:
+        # A recovered process comes back with a clean slate: applications
+        # re-join their groups, which the merge machinery treats like any
+        # other concurrent-view bootstrap.
+        self.transport.restart()

@@ -1,0 +1,298 @@
+"""Totally-ordered delivery within an installed view.
+
+Within each view the view coordinator acts as *sequencer*: members send
+``Publish`` requests to it over reliable FIFO channels, the sequencer
+assigns a view-local sequence number and multicasts ``Ordered`` messages
+to the whole view.  Receivers deliver in sequence order and NACK gaps.
+
+Cross-view safety is provided by two mechanisms used during flush:
+
+* every member keeps the full ordered log of the current view, so any
+  member can supply messages another member is missing;
+* per-sender *dedup floors* ``(sender -> highest delivered sender_seq)``
+  carried across views in ``InstallView`` make re-publication of
+  unordered messages after a view change idempotent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..sim.network import NodeId
+from .messages import Nack, Ordered, Publish, StabilityAck, StabilityAnnounce
+from .view import View
+
+#: How long a receiver waits on a sequence gap before NACKing, microseconds.
+NACK_DELAY_US = 30_000
+
+
+class OrderedChannel:
+    """Sequencer-based total order for one endpoint in one group.
+
+    The ``host`` must provide: ``node``, ``group``, ``env``,
+    ``reliable_send(dst, msg)``, ``multicast_view(msg, size)`` and
+    ``deliver_data(sender, payload, size)``.
+    """
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.view: Optional[View] = None
+        self.log: Dict[int, Ordered] = {}
+        self.delivered_upto = -1
+        self.next_order_seq = 0  # meaningful at the sequencer only
+        self.dedup_floor: Dict[NodeId, int] = {}
+        self.my_send_seq = 0
+        # sender_seq -> (payload, size): sent but not yet seen delivered.
+        self.pending: "OrderedDict[int, Tuple[Any, int]]" = OrderedDict()
+        self.frozen = False
+        self._ordered_in_view: Set[Tuple[NodeId, int]] = set()
+        self._nack_armed = False
+        self.delivered_count = 0
+        # Stability tracking: log entries at or below the floor are
+        # delivered everywhere and can never be needed by a flush.
+        self.stable_upto = -1
+        self._member_delivered: Dict[NodeId, int] = {}  # sequencer only
+        self.log_pruned = 0
+
+    # ------------------------------------------------------------------
+    # View lifecycle
+    # ------------------------------------------------------------------
+    def install_view(self, view: View, dedup_floor: Dict[NodeId, int]) -> None:
+        """Reset per-view state and re-publish still-pending messages."""
+        self.view = view
+        self.log.clear()
+        self.delivered_upto = -1
+        self.next_order_seq = 0
+        self._ordered_in_view.clear()
+        self.frozen = False
+        self.stable_upto = -1
+        self._member_delivered.clear()
+        for sender, floor in dedup_floor.items():
+            if floor > self.dedup_floor.get(sender, -1):
+                self.dedup_floor[sender] = floor
+        my_floor = self.dedup_floor.get(self.host.node, -1)
+        for sender_seq in [s for s in self.pending if s <= my_floor]:
+            del self.pending[sender_seq]
+        for sender_seq, (payload, size) in list(self.pending.items()):
+            self._publish(sender_seq, payload, size)
+
+    def freeze(self) -> None:
+        """Stop ordering/publishing; called when a flush begins."""
+        self.frozen = True
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, size: int) -> None:
+        """Multicast ``payload`` with total-order delivery in the current view.
+
+        If the channel is frozen (view change in progress) the message is
+        queued and re-published automatically in the next view.
+        """
+        self.my_send_seq += 1
+        self.pending[self.my_send_seq] = (payload, size)
+        if not self.frozen and self.view is not None:
+            self._publish(self.my_send_seq, payload, size)
+
+    def _publish(self, sender_seq: int, payload: Any, size: int) -> None:
+        assert self.view is not None
+        msg = Publish(
+            group=self.host.group,
+            view_id=self.view.view_id,
+            sender=self.host.node,
+            sender_seq=sender_seq,
+            payload=payload,
+            payload_size=size,
+        )
+        if self.host.node == self.view.coordinator:
+            self.on_publish(self.host.node, msg)
+        else:
+            self.host.reliable_send(self.view.coordinator, msg)
+
+    # ------------------------------------------------------------------
+    # Sequencer side
+    # ------------------------------------------------------------------
+    def on_publish(self, src: NodeId, msg: Publish) -> None:
+        """Sequencer: assign the next order number and multicast."""
+        if self.view is None or msg.view_id != self.view.view_id:
+            return  # stale view: sender will re-publish after install
+        if self.frozen or self.host.node != self.view.coordinator:
+            return
+        if msg.sender_seq <= self.dedup_floor.get(msg.sender, -1):
+            return
+        if (msg.sender, msg.sender_seq) in self._ordered_in_view:
+            return
+        seq = self.next_order_seq
+        self.next_order_seq += 1
+        self._ordered_in_view.add((msg.sender, msg.sender_seq))
+        ordered = Ordered(
+            group=msg.group,
+            view_id=msg.view_id,
+            seq=seq,
+            sender=msg.sender,
+            sender_seq=msg.sender_seq,
+            payload=msg.payload,
+            payload_size=msg.payload_size,
+        )
+        self.host.multicast_view(ordered, ordered.size_bytes())
+
+    def on_nack(self, msg: Nack) -> None:
+        """Sequencer: retransmit the requested range to the requester."""
+        if self.view is None or msg.view_id != self.view.view_id:
+            return
+        for seq in range(msg.from_seq, msg.to_seq + 1):
+            held = self.log.get(seq)
+            if held is not None:
+                self.host.reliable_send(msg.requester, held)
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def on_ordered(self, msg: Ordered) -> None:
+        """Receive an ordered message; deliver contiguously, NACK gaps."""
+        if self.view is None or msg.view_id != self.view.view_id:
+            return
+        if msg.seq <= self.delivered_upto or msg.seq in self.log:
+            return
+        self.log[msg.seq] = msg
+        self._try_deliver()
+        if self.log_gap_exists() and not self._nack_armed:
+            self._arm_nack()
+
+    def _try_deliver(self) -> None:
+        while self.delivered_upto + 1 in self.log:
+            seq = self.delivered_upto + 1
+            msg = self.log[seq]
+            self.delivered_upto = seq
+            self._deliver(msg)
+
+    def _deliver(self, msg: Ordered) -> None:
+        floor = self.dedup_floor.get(msg.sender, -1)
+        if msg.sender_seq > floor:
+            self.dedup_floor[msg.sender] = msg.sender_seq
+        if msg.sender == self.host.node:
+            self.pending.pop(msg.sender_seq, None)
+        self.delivered_count += 1
+        self.host.deliver_data(msg.sender, msg.payload, msg.payload_size)
+
+    def log_gap_exists(self) -> bool:
+        """True if we hold out-of-order messages past a missing sequence."""
+        return any(seq > self.delivered_upto + 1 for seq in self.log)
+
+    def _arm_nack(self) -> None:
+        self._nack_armed = True
+        view_at_arm = self.view.view_id if self.view else None
+
+        def fire() -> None:
+            self._nack_armed = False
+            if self.view is None or self.view.view_id != view_at_arm or self.frozen:
+                return
+            if not self.log_gap_exists():
+                return
+            missing_to = max(s for s in self.log if s > self.delivered_upto + 1) - 1
+            nack = Nack(
+                group=self.host.group,
+                view_id=self.view.view_id,
+                from_seq=self.delivered_upto + 1,
+                to_seq=missing_to,
+                requester=self.host.node,
+            )
+            self.host.reliable_send(self.view.coordinator, nack)
+            self._arm_nack()  # keep nagging until the gap closes
+
+        self.host.env.sim.schedule(NACK_DELAY_US, fire)
+
+    # ------------------------------------------------------------------
+    # Stability and log garbage collection
+    # ------------------------------------------------------------------
+    def tick_stability(self) -> None:
+        """Periodic: report delivery progress / announce the floor.
+
+        Members send a :class:`StabilityAck` to the sequencer; the
+        sequencer (whose own progress counts too) announces the minimum
+        as the new stability floor.  Called by the endpoint's stability
+        timer.
+        """
+        if self.view is None or self.frozen:
+            return
+        if self.host.node == self.view.coordinator:
+            self._announce_floor()
+        else:
+            ack = StabilityAck(
+                group=self.host.group,
+                view_id=self.view.view_id,
+                member=self.host.node,
+                delivered_upto=self.delivered_upto,
+            )
+            self.host.reliable_send(self.view.coordinator, ack)
+
+    def on_stability_ack(self, msg: StabilityAck) -> None:
+        """Sequencer: record a member's delivery progress."""
+        if self.view is None or msg.view_id != self.view.view_id:
+            return
+        previous = self._member_delivered.get(msg.member, -1)
+        if msg.delivered_upto > previous:
+            self._member_delivered[msg.member] = msg.delivered_upto
+
+    def _announce_floor(self) -> None:
+        assert self.view is not None
+        others = [m for m in self.view.members if m != self.host.node]
+        if any(m not in self._member_delivered for m in others):
+            return  # not everyone has reported yet
+        floor = min(
+            [self.delivered_upto] + [self._member_delivered[m] for m in others]
+        )
+        if floor <= self.stable_upto:
+            return
+        announce = StabilityAnnounce(
+            group=self.host.group, view_id=self.view.view_id, floor=floor
+        )
+        self.host.multicast_view(announce, announce.size_bytes())
+
+    def on_stability_announce(self, msg: StabilityAnnounce) -> None:
+        """Prune the log up to the announced floor."""
+        if self.view is None or msg.view_id != self.view.view_id:
+            return
+        if msg.floor <= self.stable_upto:
+            return
+        self.stable_upto = msg.floor
+        for seq in [s for s in self.log if s <= msg.floor]:
+            del self.log[seq]
+            self.log_pruned += 1
+
+    # ------------------------------------------------------------------
+    # Flush support
+    # ------------------------------------------------------------------
+    def have_upto(self) -> int:
+        """End of the contiguous prefix of this view we hold (== delivered)."""
+        return self.delivered_upto
+
+    def messages_above(self, lo: int) -> Dict[int, Ordered]:
+        """Copies of every held message with ``seq > lo`` (for FlushState)."""
+        return {seq: msg for seq, msg in self.log.items() if seq > lo}
+
+    def apply_fill(self, cut: int, missing: Dict[int, Ordered]) -> None:
+        """Absorb ``missing``, deliver everything up to ``cut``, drop the rest.
+
+        Dropped messages were never delivered by anyone in the branch
+        (the cut is the maximum of every member's contiguous coverage);
+        their senders re-publish them in the next view.
+        """
+        # Drop above-cut holdings FIRST: delivering them here would break
+        # the branch-wide agreement on the delivered set.
+        for seq in [s for s in self.log if s > cut]:
+            del self.log[seq]
+        for seq, msg in missing.items():
+            if seq not in self.log and seq <= cut:
+                self.log[seq] = msg
+        self._try_deliver()
+        if self.delivered_upto < cut:
+            raise RuntimeError(
+                f"flush fill incomplete: delivered {self.delivered_upto} < cut {cut} "
+                f"(group={self.host.group}, node={self.host.node})"
+            )
+
+    def floor_snapshot(self) -> Dict[NodeId, int]:
+        """Copy of the per-sender dedup floors (carried in InstallView)."""
+        return dict(self.dedup_floor)

@@ -1,0 +1,193 @@
+"""Reusable randomized churn driver for soak testing.
+
+Generates and applies a seeded random schedule of joins, leaves,
+crashes, partitions and heals against a cluster, while tracking the
+membership every group *should* converge to.  Used by the integration
+soak tests and the churn benchmark; applications can use it to stress
+their own listeners.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim.engine import SECOND
+from .cluster import Cluster
+
+Action = Tuple[str, str, str]  # (kind, node, group) — group may be ""
+
+
+@dataclass
+class ChurnModel:
+    """Weights and limits for the random schedule."""
+
+    join_weight: float = 4.0
+    leave_weight: float = 2.0
+    crash_weight: float = 1.0
+    recover_weight: float = 1.0
+    partition_weight: float = 1.0
+    heal_weight: float = 2.0
+    #: Never crash below this many live processes.
+    min_alive: int = 2
+    #: Gap between actions, microseconds.
+    step_us: int = 1_500_000
+
+
+class ChurnDriver:
+    """Applies a random-but-reproducible churn schedule to a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        groups: Sequence[str],
+        seed: int = 0,
+        model: Optional[ChurnModel] = None,
+    ):
+        self.cluster = cluster
+        self.groups = list(groups)
+        self.model = model or ChurnModel()
+        self.rng = random.Random(seed)
+        #: group -> the member set the system should converge to.
+        self.expected: Dict[str, Set[str]] = {g: set() for g in self.groups}
+        self.crashed: Set[str] = set()
+        self.partitioned = False
+        self.log: List[Action] = []
+
+    # ------------------------------------------------------------------
+    def seed_membership(self, per_group: int = 2) -> None:
+        """Start every group with ``per_group`` members."""
+        for index, group in enumerate(self.groups):
+            for offset in range(per_group):
+                node = self.cluster.process_ids[
+                    (index + offset) % len(self.cluster.process_ids)
+                ]
+                self._join(node, group)
+        self.cluster.run_for_seconds(8)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def _join(self, node: str, group: str) -> None:
+        if node in self.crashed or node in self.expected[group]:
+            return
+        self.cluster.services[node].join(group)
+        self.expected[group].add(node)
+        self.log.append(("join", node, group))
+
+    def _leave(self, node: str, group: str) -> None:
+        if node in self.crashed or node not in self.expected[group]:
+            return
+        self.cluster.services[node].leave(group)
+        self.expected[group].discard(node)
+        self.log.append(("leave", node, group))
+
+    def _crash(self, node: str) -> None:
+        alive = len(self.cluster.process_ids) - len(self.crashed)
+        if node in self.crashed or alive <= self.model.min_alive:
+            return
+        self.cluster.crash(node)
+        self.crashed.add(node)
+        for members in self.expected.values():
+            members.discard(node)
+        self.log.append(("crash", node, ""))
+
+    def _recover(self, node: str) -> None:
+        if node not in self.crashed:
+            return
+        self.cluster.recover(node)
+        self.crashed.discard(node)
+        self.log.append(("recover", node, ""))
+        # A recovered process has a clean slate; it re-joins nothing
+        # until the schedule says so.
+
+    def _partition(self) -> None:
+        if self.partitioned:
+            return
+        alive = [n for n in self.cluster.process_ids if n not in self.crashed]
+        if len(alive) < 2:
+            return
+        half = len(alive) // 2
+        servers = list(self.cluster.name_server_ids)
+        left_servers = servers[: max(1, len(servers) // 2)]
+        right_servers = servers[max(1, len(servers) // 2):] or left_servers[:1]
+        self.cluster.partition(
+            alive[:half] + left_servers, alive[half:] + right_servers
+        )
+        self.partitioned = True
+        self.log.append(("partition", "", ""))
+
+    def _heal(self) -> None:
+        if not self.partitioned:
+            return
+        self.cluster.heal()
+        self.partitioned = False
+        self.log.append(("heal", "", ""))
+
+    # ------------------------------------------------------------------
+    def run(self, steps: int) -> None:
+        """Apply ``steps`` random actions, pausing between them."""
+        model = self.model
+        kinds = ["join", "leave", "crash", "recover", "partition", "heal"]
+        weights = [
+            model.join_weight, model.leave_weight, model.crash_weight,
+            model.recover_weight, model.partition_weight, model.heal_weight,
+        ]
+        for _ in range(steps):
+            kind = self.rng.choices(kinds, weights)[0]
+            node = self.rng.choice(self.cluster.process_ids)
+            group = self.rng.choice(self.groups)
+            if kind == "join":
+                self._join(node, group)
+            elif kind == "leave":
+                self._leave(node, group)
+            elif kind == "crash":
+                self._crash(node)
+            elif kind == "recover":
+                self._recover(node)
+            elif kind == "partition":
+                self._partition()
+            elif kind == "heal":
+                self._heal()
+            self.cluster.run_for(model.step_us)
+
+    def finish(self) -> None:
+        """End in a fully healed network (required before quiesce checks)."""
+        if self.partitioned:
+            self._heal()
+
+    # ------------------------------------------------------------------
+    # Convergence checking
+    # ------------------------------------------------------------------
+    def quiesced(self) -> Tuple[bool, str]:
+        """Is every group converged on the expected membership?"""
+        for group, members in self.expected.items():
+            if not members:
+                continue
+            views = []
+            for node in members:
+                local = self.cluster.services[node].table.local(f"lwg:{group}")
+                if local is None or not local.is_member or local.view is None:
+                    return False, f"{group}: {node} not a member"
+                views.append((node, local.view, local.hwg))
+            ids = {v.view_id for _, v, _ in views}
+            if len(ids) != 1:
+                return False, (
+                    f"{group}: divergent views "
+                    f"{[(n, str(v.view_id)) for n, v, _ in views]}"
+                )
+            if set(views[0][1].members) != members:
+                return False, (
+                    f"{group}: members {views[0][1].members} != {sorted(members)}"
+                )
+            if len({h for _, _, h in views}) != 1:
+                return False, f"{group}: divergent hwg mappings"
+        return True, "ok"
+
+    def wait_for_quiesce(self, timeout_seconds: float = 90.0) -> Tuple[bool, str]:
+        self.finish()
+        self.cluster.run_until(
+            lambda: self.quiesced()[0], timeout_us=int(timeout_seconds * SECOND)
+        )
+        return self.quiesced()

@@ -1,0 +1,13 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimEnv
+
+
+@pytest.fixture
+def env() -> SimEnv:
+    """A fresh deterministic simulation environment."""
+    return SimEnv.create(seed=42)

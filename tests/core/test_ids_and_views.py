@@ -1,0 +1,118 @@
+"""Tests for identifier conventions and LWG view helpers."""
+
+import pytest
+
+from repro.core import (
+    highest_gid,
+    is_hwg_id,
+    is_lwg_id,
+    lwg_id,
+    merge_lwg_views,
+    merged_view_id,
+    mint_hwg_id,
+    restrict_view,
+)
+from repro.core.lwg_view import AncestorTracker
+from repro.vsync.view import View, ViewId
+
+
+def test_lwg_id_canonicalization():
+    assert lwg_id("chat") == "lwg:chat"
+    assert lwg_id("lwg:chat") == "lwg:chat"
+
+
+def test_mint_hwg_id_unique_and_ordered():
+    a = mint_hwg_id("p0", 1)
+    b = mint_hwg_id("p0", 2)
+    assert a != b and a < b
+    assert is_hwg_id(a)
+
+
+def test_id_kind_predicates():
+    assert is_lwg_id("lwg:x") and not is_hwg_id("lwg:x")
+    assert is_hwg_id("hwg:x") and not is_lwg_id("hwg:x")
+
+
+def test_highest_gid():
+    assert highest_gid(["hwg:a", "hwg:c", "hwg:b"]) == "hwg:c"
+    assert highest_gid([]) is None
+
+
+def make_view(coord, seq, *members, parents=()):
+    return View("lwg:g", ViewId(coord, seq), tuple(members), tuple(parents))
+
+
+def test_merged_view_id_is_deterministic():
+    parents = [ViewId("p0", 1), ViewId("p5", 3)]
+    assert merged_view_id("lwg:g", parents) == merged_view_id("lwg:g", list(reversed(parents)))
+
+
+def test_merged_view_id_differs_by_lwg_and_parents():
+    parents = [ViewId("p0", 1), ViewId("p5", 3)]
+    assert merged_view_id("lwg:g", parents) != merged_view_id("lwg:h", parents)
+    assert merged_view_id("lwg:g", parents) != merged_view_id("lwg:g", parents[:1])
+
+
+def test_merged_view_id_cannot_collide_with_counter_ids():
+    merged = merged_view_id("lwg:g", [ViewId("p0", 1)])
+    assert merged.seq >= (1 << 60)
+
+
+def test_merge_lwg_views_unions_members_sets_parents():
+    left = make_view("p0", 1, "p0", "p1")
+    right = make_view("p5", 1, "p5", "p6")
+    merged = merge_lwg_views("lwg:g", [left, right])
+    assert set(merged.members) == {"p0", "p1", "p5", "p6"}
+    assert set(merged.parents) == {left.view_id, right.view_id}
+
+
+def test_merge_lwg_views_single_view_is_identity():
+    view = make_view("p0", 1, "p0")
+    assert merge_lwg_views("lwg:g", [view]) is view
+
+
+def test_merge_lwg_views_is_order_independent():
+    left = make_view("p0", 1, "p0", "p1")
+    right = make_view("p5", 1, "p5")
+    assert merge_lwg_views("lwg:g", [left, right]) == merge_lwg_views(
+        "lwg:g", [right, left]
+    )
+
+
+def test_merge_lwg_views_empty_rejected():
+    with pytest.raises(ValueError):
+        merge_lwg_views("lwg:g", [])
+
+
+def test_restrict_view():
+    view = make_view("p0", 1, "p0", "p1", "p2")
+    restricted = restrict_view(view, ["p0", "p2"], ViewId("p0", 2))
+    assert restricted.members == ("p0", "p2")
+    assert restricted.parents == (view.view_id,)
+
+
+def test_restrict_view_empty_rejected():
+    view = make_view("p0", 1, "p0")
+    with pytest.raises(ValueError):
+        restrict_view(view, [], ViewId("p0", 2))
+
+
+def test_ancestor_tracker_staleness():
+    tracker = AncestorTracker()
+    v1 = make_view("p0", 1, "p0")
+    v2 = make_view("p0", 2, "p0", "p1", parents=[v1.view_id])
+    tracker.advance(v1, v2)
+    assert tracker.is_stale(v1.view_id)
+    assert not tracker.is_stale(v2.view_id)
+
+
+def test_ancestor_tracker_concurrency():
+    tracker = AncestorTracker()
+    v1 = make_view("p0", 1, "p0")
+    v2 = make_view("p0", 2, "p0", parents=[v1.view_id])
+    tracker.advance(v1, v2)
+    foreign = ViewId("p9", 7)
+    assert tracker.concurrent_with_current(v2, foreign)
+    assert not tracker.concurrent_with_current(v2, v2.view_id)
+    assert not tracker.concurrent_with_current(v2, v1.view_id)
+    assert not tracker.concurrent_with_current(None, foreign)

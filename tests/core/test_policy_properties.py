@@ -1,0 +1,130 @@
+"""Property-based tests of the Figure-1 policy engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LeaveHwgAction,
+    LwgConfig,
+    PolicyEngine,
+    PolicySnapshot,
+    SwitchAction,
+    is_close_enough,
+    is_minority,
+    share_rule_applies,
+)
+
+processes = st.sampled_from([f"p{i}" for i in range(8)])
+member_sets = st.frozensets(processes, min_size=1, max_size=8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(g1=member_sets, g2=member_sets, k=st.integers(min_value=1, max_value=8))
+def test_minority_implies_subset(g1, g2, k):
+    if is_minority(g1, g2, k):
+        assert g1 <= g2
+        assert len(g1) * k <= len(g2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(g1=member_sets, g2=member_sets, k=st.integers(min_value=1, max_value=8))
+def test_closeness_implies_subset(g1, g2, k):
+    if is_close_enough(g1, g2, k):
+        assert g1 <= g2
+
+
+@settings(max_examples=100, deadline=None)
+@given(g=member_sets, k=st.integers(min_value=1, max_value=8))
+def test_group_is_always_close_to_itself_never_its_own_minority(g, k):
+    assert is_close_enough(g, g, k)
+    assert not is_minority(g, g, k) or len(g) * k <= len(g)
+
+
+@settings(max_examples=100, deadline=None)
+@given(h1=member_sets, h2=member_sets, k=st.integers(min_value=2, max_value=8))
+def test_share_rule_is_symmetric(h1, h2, k):
+    assert share_rule_applies(h1, h2, k) == share_rule_applies(h2, h1, k)
+
+
+@settings(max_examples=100, deadline=None)
+@given(h=member_sets, k=st.integers(min_value=2, max_value=8))
+def test_identical_hwgs_always_collapse(h, k):
+    assert share_rule_applies(h, h, k)
+
+
+@st.composite
+def snapshots(draw):
+    hwg_names = [f"hwg:{i:02d}" for i in range(draw(st.integers(1, 4)))]
+    hwg_members = {name: draw(member_sets) for name in hwg_names}
+    coordinated = {}
+    for i in range(draw(st.integers(0, 5))):
+        hwg = draw(st.sampled_from(hwg_names))
+        # The LWG's members are a subset of its HWG (system invariant).
+        members = draw(
+            st.frozensets(st.sampled_from(sorted(hwg_members[hwg])), min_size=1)
+        )
+        coordinated[f"lwg:g{i}"] = (members, hwg)
+    return PolicySnapshot(
+        node="p0",
+        now_us=draw(st.integers(0, 100_000_000)),
+        coordinated_lwgs=coordinated,
+        hwg_members=hwg_members,
+        local_lwgs_per_hwg={
+            h: sum(1 for _, (m, u) in coordinated.items() if u == h)
+            for h in hwg_names
+        },
+        hwg_idle_since={h: 0 for h in hwg_names},
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(snapshot=snapshots())
+def test_engine_is_deterministic(snapshot):
+    engine = PolicyEngine(LwgConfig())
+    assert engine.evaluate(snapshot) == engine.evaluate(snapshot)
+
+
+@settings(max_examples=100, deadline=None)
+@given(snapshot=snapshots())
+def test_engine_never_switches_a_group_twice(snapshot):
+    engine = PolicyEngine(LwgConfig())
+    actions = engine.evaluate(snapshot)
+    switched = [a.lwg for a in actions if isinstance(a, SwitchAction)]
+    assert len(switched) == len(set(switched))
+
+
+@settings(max_examples=100, deadline=None)
+@given(snapshot=snapshots())
+def test_engine_never_targets_the_current_hwg(snapshot):
+    engine = PolicyEngine(LwgConfig())
+    for action in engine.evaluate(snapshot):
+        if isinstance(action, SwitchAction) and action.to_hwg is not None:
+            _, current = snapshot.coordinated_lwgs[action.lwg]
+            assert action.to_hwg != current
+
+
+@settings(max_examples=100, deadline=None)
+@given(snapshot=snapshots())
+def test_engine_never_leaves_a_used_hwg(snapshot):
+    engine = PolicyEngine(LwgConfig())
+    for action in engine.evaluate(snapshot):
+        if isinstance(action, LeaveHwgAction):
+            assert snapshot.local_lwgs_per_hwg.get(action.hwg, 0) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(snapshot=snapshots())
+def test_busy_groups_are_never_touched(snapshot):
+    engine = PolicyEngine(LwgConfig())
+    busy = frozenset(snapshot.coordinated_lwgs)
+    frozen_snapshot = PolicySnapshot(
+        node=snapshot.node,
+        now_us=snapshot.now_us,
+        coordinated_lwgs=snapshot.coordinated_lwgs,
+        hwg_members=snapshot.hwg_members,
+        local_lwgs_per_hwg=snapshot.local_lwgs_per_hwg,
+        hwg_idle_since=snapshot.hwg_idle_since,
+        busy_lwgs=busy,
+    )
+    actions = engine.evaluate(frozen_snapshot)
+    assert not [a for a in actions if isinstance(a, SwitchAction)]

@@ -1,0 +1,70 @@
+"""Tests for the service's introspection and lifecycle conveniences."""
+
+from repro.core import LwgListener
+from repro.sim import SECOND
+from repro.workloads import Cluster
+
+
+class Recorder(LwgListener):
+    def __init__(self):
+        self.lefts = 0
+
+    def on_left(self, lwg):
+        self.lefts += 1
+
+
+def converged(handles, size):
+    views = [h.view for h in handles]
+    return (
+        all(v is not None for v in views)
+        and len({v.view_id for v in views}) == 1
+        and all(len(v.members) == size for v in views)
+    )
+
+
+def test_groups_and_members():
+    cluster = Cluster(num_processes=2, seed=131)
+    a = [cluster.service(i).join("alpha") for i in range(2)]
+    b = [cluster.service(0).join("beta")]
+    assert cluster.run_until(
+        lambda: converged(a, 2) and converged(b, 1), timeout_us=15 * SECOND
+    )
+    service = cluster.service(0)
+    assert service.groups() == ["lwg:alpha", "lwg:beta"]
+    assert set(service.members("alpha")) == {"p0", "p1"}
+    assert service.members("beta") == ("p0",)
+    assert service.members("nonexistent") == ()
+
+
+def test_describe_reports_roles():
+    cluster = Cluster(num_processes=2, seed=132)
+    handles = [cluster.service(i).join("g") for i in range(2)]
+    assert cluster.run_until(lambda: converged(handles, 2), timeout_us=15 * SECOND)
+    description = cluster.service(0).describe()
+    entry = description["lwg:g"]
+    assert entry["state"] == "member"
+    assert set(entry["members"]) == {"p0", "p1"}
+    assert entry["hwg"].startswith("hwg:")
+    assert entry["switching"] is False
+    coordinators = [
+        cluster.service(i).describe()["lwg:g"]["coordinator"] for i in range(2)
+    ]
+    assert coordinators.count(True) == 1
+
+
+def test_shutdown_leaves_everything():
+    cluster = Cluster(num_processes=2, seed=133)
+    recorder = Recorder()
+    a = [cluster.service(i).join("alpha") for i in range(2)]
+    cluster.service(0).join("beta", recorder)
+    assert cluster.run_until(lambda: converged(a, 2), timeout_us=15 * SECOND)
+    cluster.run_for_seconds(2)
+    cluster.service(0).shutdown()
+    assert cluster.run_until(
+        lambda: cluster.service(0).groups() == [], timeout_us=20 * SECOND
+    )
+    # The remaining member of alpha continues alone.
+    assert cluster.run_until(
+        lambda: cluster.service(1).members("alpha") == ("p1",),
+        timeout_us=15 * SECOND,
+    )

@@ -1,0 +1,152 @@
+"""Tests for application state transfer at both layers."""
+
+from tests.helpers import converged, make_group, run_until
+
+from repro.core import LwgListener
+from repro.sim import SECOND
+from repro.vsync import HwgListener, ProtocolStack
+from repro.workloads import Cluster
+
+
+# ----------------------------------------------------------------------
+# HWG level: snapshot rides InstallView, captured at the flush cut
+# ----------------------------------------------------------------------
+class CounterApp(HwgListener):
+    """A replicated counter: state = sum of delivered increments."""
+
+    def __init__(self):
+        self.total = 0
+        self.got_state = None
+
+    def on_data(self, group, src, payload, size):
+        self.total += payload
+
+    def get_state(self, group):
+        return self.total
+
+    def on_state(self, group, state):
+        self.got_state = state
+        self.total = state
+
+
+def test_hwg_joiner_receives_state_at_the_cut(env):
+    stacks, endpoints, _ = make_group(env, 2)
+    apps = [CounterApp(), CounterApp()]
+    endpoints[0].listener = apps[0]
+    endpoints[1].listener = apps[1]
+    assert run_until(env, lambda: converged(endpoints, 2))
+    for i in range(10):
+        endpoints[i % 2].send(i + 1, size=16)
+    env.sim.run_until(env.sim.now + 1 * SECOND)
+    assert apps[0].total == 55
+    late_stack = ProtocolStack(env, "late", stacks[0].addressing)
+    late_app = CounterApp()
+    late = late_stack.endpoint("g", late_app)
+    late.join()
+    assert run_until(env, lambda: converged(endpoints + [late], 3))
+    assert late_app.got_state == 55
+    # Post-join traffic keeps all replicas identical.
+    endpoints[0].send(45, size=16)
+    env.sim.run_until(env.sim.now + 1 * SECOND)
+    assert late_app.total == 100
+    assert apps[0].total == 100
+
+
+def test_hwg_state_transfer_disabled_by_default(env):
+    stacks, endpoints, _ = make_group(env, 1)
+    env.sim.run_until(1 * SECOND)
+    late_stack = ProtocolStack(env, "late", stacks[0].addressing)
+    received = []
+
+    class Probe(HwgListener):
+        def on_state(self, group, state):
+            received.append(state)
+
+    late = late_stack.endpoint("g", Probe())
+    late.join()
+    assert run_until(env, lambda: converged(endpoints + [late], 2))
+    assert received == []  # default get_state returns None
+
+
+# ----------------------------------------------------------------------
+# LWG level: snapshot multicast in the group's total order
+# ----------------------------------------------------------------------
+class LwgCounter(LwgListener):
+    def __init__(self):
+        self.total = 0
+        self.got_state = None
+        self.deliveries = []
+
+    def on_data(self, lwg, src, payload, size):
+        self.total += payload
+        self.deliveries.append(payload)
+
+    def get_state(self, lwg):
+        return self.total
+
+    def on_state(self, lwg, state):
+        self.got_state = state
+        self.total = state
+
+
+def test_lwg_joiner_receives_state_before_data():
+    cluster = Cluster(num_processes=3, seed=61)
+    apps = [LwgCounter(), LwgCounter()]
+    handles = [cluster.service(i).join("ctr", apps[i]) for i in range(2)]
+    assert cluster.run_until(
+        lambda: all(h.view and len(h.view.members) == 2 for h in handles),
+        timeout_us=10 * SECOND,
+    )
+    for i in range(10):
+        handles[i % 2].send(i + 1, size=16)
+    cluster.run_for_seconds(1)
+    assert apps[0].total == 55
+    late_app = LwgCounter()
+    late = cluster.service(2).join("ctr", late_app)
+    assert cluster.run_until(
+        lambda: late.view is not None and len(late.view.members) == 3
+        and late_app.got_state is not None,
+        timeout_us=15 * SECOND,
+    )
+    assert late_app.got_state == 55
+    handles[0].send(45, size=16)
+    cluster.run_for_seconds(1)
+    assert late_app.total == 100
+
+
+def test_lwg_state_transfer_with_concurrent_traffic():
+    """Messages racing the join must be counted exactly once at the joiner
+    (either inside the snapshot or as a delivery, never both)."""
+    cluster = Cluster(num_processes=4, seed=62)
+    apps = [LwgCounter() for _ in range(3)]
+    handles = [cluster.service(i).join("ctr", apps[i]) for i in range(3)]
+    assert cluster.run_until(
+        lambda: all(h.view and len(h.view.members) == 3 for h in handles),
+        timeout_us=10 * SECOND,
+    )
+    # Pump continuously while a fourth member joins.
+    sent = {"n": 0}
+
+    def pump():
+        if sent["n"] < 40:
+            sent["n"] += 1
+            handles[sent["n"] % 3].send(1, size=16)
+            cluster.stack(0).set_timer(30_000, pump)
+
+    pump()
+    cluster.run_for_seconds(0.2)
+    late_app = LwgCounter()
+    late = cluster.service(3).join("ctr", late_app)
+    assert cluster.run_until(lambda: sent["n"] >= 40, timeout_us=20 * SECOND)
+    cluster.run_for_seconds(2)
+    assert apps[0].total == 40
+    assert late_app.total == 40, (late_app.got_state, late_app.deliveries)
+
+
+def test_lwg_creator_gets_no_state():
+    cluster = Cluster(num_processes=1, seed=63)
+    app = LwgCounter()
+    handle = cluster.service(0).join("solo", app)
+    cluster.run_for_seconds(3)
+    assert handle.is_member
+    assert app.got_state is None

@@ -1,0 +1,77 @@
+"""Crash-recovery of application processes: clean-slate rejoin."""
+
+from repro.core import LwgListener
+from repro.sim import SECOND
+from repro.workloads import Cluster
+
+
+class Counter(LwgListener):
+    def __init__(self):
+        self.total = 0
+        self.got_state = None
+
+    def on_data(self, lwg, src, payload, size):
+        self.total += payload
+
+    def get_state(self, lwg):
+        return self.total
+
+    def on_state(self, lwg, state):
+        self.got_state = state
+        self.total = state
+
+
+def converged(handles, size):
+    views = [h.view for h in handles]
+    return (
+        all(v is not None for v in views)
+        and len({v.view_id for v in views}) == 1
+        and all(len(v.members) == size for v in views)
+    )
+
+
+def test_recovered_process_rejoins_and_catches_up():
+    cluster = Cluster(num_processes=3, seed=121)
+    apps = [Counter() for _ in range(3)]
+    handles = [cluster.service(i).join("g", apps[i]) for i in range(3)]
+    assert cluster.run_until(lambda: converged(handles, 3), timeout_us=15 * SECOND)
+    for value in (10, 20, 30):
+        handles[0].send(value, size=16)
+    cluster.run_for_seconds(1)
+    assert apps[1].total == 60
+
+    # p2 fail-stops; the survivors reconfigure and keep counting.
+    cluster.crash(2)
+    assert cluster.run_until(lambda: converged(handles[:2], 2), timeout_us=20 * SECOND)
+    handles[0].send(40, size=16)
+    cluster.run_for_seconds(1)
+    assert apps[0].total == 100
+
+    # p2 recovers with a clean slate and rejoins: state transfer brings
+    # it back to the group's current total.
+    cluster.recover(2)
+    cluster.run_for_seconds(1)
+    apps[2] = Counter()
+    handles[2] = cluster.service(2).join("g", apps[2])
+    assert cluster.run_until(
+        lambda: converged(handles, 3) and apps[2].got_state is not None,
+        timeout_us=30 * SECOND,
+    )
+    assert apps[2].total == 100
+    handles[2].send(1, size=16)
+    cluster.run_for_seconds(1)
+    assert all(app.total == 101 for app in apps)
+
+
+def test_recovered_name_server_and_process_together():
+    cluster = Cluster(num_processes=2, seed=122, num_name_servers=2)
+    handles = [cluster.service(i).join("g") for i in range(2)]
+    assert cluster.run_until(lambda: converged(handles, 2), timeout_us=15 * SECOND)
+    cluster.env.failures.crash_now("ns0")
+    cluster.crash(1)
+    assert cluster.run_until(lambda: converged(handles[:1], 1), timeout_us=20 * SECOND)
+    cluster.env.failures.recover_now("ns0")
+    cluster.recover(1)
+    cluster.run_for_seconds(1)
+    handles[1] = cluster.service(1).join("g")
+    assert cluster.run_until(lambda: converged(handles, 2), timeout_us=30 * SECOND)

@@ -1,0 +1,44 @@
+"""Randomized soak tests: seeded churn schedules must always quiesce."""
+
+import pytest
+
+from repro.core import LwgConfig
+from repro.sim import SECOND
+from repro.workloads import ChurnDriver, ChurnModel, Cluster
+
+
+def build(seed):
+    config = LwgConfig()
+    config.policy_period_us = 2 * SECOND
+    config.shrink_grace_us = 1 * SECOND
+    cluster = Cluster(
+        num_processes=6, seed=seed, num_name_servers=2, lwg_config=config,
+        keep_trace=False,
+    )
+    driver = ChurnDriver(cluster, groups=["s0", "s1", "s2"], seed=seed)
+    driver.seed_membership(per_group=3)
+    return cluster, driver
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_random_churn_quiesces(seed):
+    cluster, driver = build(seed)
+    driver.run(steps=15)
+    ok, detail = driver.wait_for_quiesce(timeout_seconds=120)
+    assert ok, f"seed={seed}: {detail}\nschedule={driver.log}"
+
+
+def test_heavy_partition_churn_quiesces():
+    model = ChurnModel(partition_weight=4.0, heal_weight=4.0, crash_weight=0.5)
+    config = LwgConfig()
+    config.policy_period_us = 2 * SECOND
+    config.shrink_grace_us = 1 * SECOND
+    cluster = Cluster(
+        num_processes=6, seed=99, num_name_servers=2, lwg_config=config,
+        keep_trace=False,
+    )
+    driver = ChurnDriver(cluster, groups=["s0", "s1"], seed=99, model=model)
+    driver.seed_membership(per_group=3)
+    driver.run(steps=20)
+    ok, detail = driver.wait_for_quiesce(timeout_seconds=150)
+    assert ok, f"{detail}\nschedule={driver.log}"

@@ -1,0 +1,97 @@
+"""Tests for measurement collectors."""
+
+from repro.metrics import LatencyCollector, RecoveryTimer, SummaryStats, ThroughputMeter
+
+
+def test_latency_collector_groups_by_key():
+    collector = LatencyCollector()
+    collector.record("g1", 100, 300)
+    collector.record("g1", 100, 500)
+    collector.record("g2", 0, 50)
+    assert collector.samples("g1") == [200, 400]
+    assert collector.samples() == [200, 400, 50]
+    assert collector.keys() == ["g1", "g2"]
+
+
+def test_latency_summary():
+    collector = LatencyCollector()
+    for latency in (100, 200, 300, 400):
+        collector.record("g", 0, latency)
+    summary = collector.summary("g")
+    assert summary.count == 4
+    assert summary.mean_us == 250
+    assert summary.max_us == 400
+
+
+def test_summary_of_empty_is_none():
+    assert SummaryStats.of([]) is None
+    assert LatencyCollector().summary() is None
+
+
+def test_summary_str_formats_ms():
+    summary = SummaryStats.of([1000.0])
+    assert "mean=1.00ms" in str(summary)
+
+
+def test_throughput_meter_window():
+    meter = ThroughputMeter()
+    meter.open_window(1_000_000)
+    for _ in range(10):
+        meter.record_delivery()
+    meter.close_window(2_000_000)
+    assert meter.throughput_per_second() == 10
+
+
+def test_throughput_ignores_deliveries_outside_window():
+    meter = ThroughputMeter()
+    meter.record_delivery()  # before window
+    meter.open_window(0)
+    meter.record_delivery()
+    meter.close_window(1_000_000)
+    meter.record_delivery()  # after window
+    assert meter.delivered == 1
+
+
+def test_throughput_empty_window_is_zero():
+    meter = ThroughputMeter()
+    assert meter.throughput_per_second() == 0.0
+
+
+def test_recovery_timer_completes_when_all_reconfigure():
+    timer = RecoveryTimer()
+    timer.arm(1000, "victim", [("g1", "a"), ("g1", "b")])
+    timer.note_view("g1", "a", ["a", "b"], 2000)
+    assert not timer.complete
+    timer.note_view("g1", "b", ["a", "b"], 2500)
+    assert timer.complete
+    assert timer.recovery_time_us() == 1500
+
+
+def test_recovery_timer_ignores_views_containing_victim():
+    timer = RecoveryTimer()
+    timer.arm(1000, "victim", [("g1", "a")])
+    timer.note_view("g1", "a", ["a", "victim"], 2000)
+    assert not timer.complete
+
+
+def test_recovery_timer_ignores_pre_crash_views():
+    timer = RecoveryTimer()
+    timer.arm(1000, "victim", [("g1", "a")])
+    timer.note_view("g1", "a", ["a"], 500)
+    assert not timer.complete
+
+
+def test_recovery_timer_first_reconfiguration_wins():
+    timer = RecoveryTimer()
+    timer.arm(0, "v", [("g1", "a")])
+    timer.note_view("g1", "a", ["a"], 100)
+    timer.note_view("g1", "a", ["a", "b"], 200)
+    assert timer.recovery_time_us() == 100
+
+
+def test_recovery_per_group_breakdown():
+    timer = RecoveryTimer()
+    timer.arm(0, "v", [("g1", "a"), ("g2", "a")])
+    timer.note_view("g1", "a", ["a"], 100)
+    timer.note_view("g2", "a", ["a"], 300)
+    assert timer.per_group_recovery_us() == {"g1": 100, "g2": 300}

@@ -1,0 +1,38 @@
+"""Tests for paper-style report formatting."""
+
+from repro.metrics import format_table, series_table, shape_check
+
+
+def test_format_table_aligns_columns():
+    text = format_table("Title", ["a", "bbb"], [[1, 2], [333, 4]])
+    assert "Title" in text
+    lines = [l for l in text.splitlines() if l]
+    assert any("333" in l for l in lines)
+
+
+def test_format_table_formats_floats():
+    text = format_table("T", ["x"], [[1.23456]])
+    assert "1.23" in text
+
+
+def test_format_table_note():
+    text = format_table("T", ["x"], [[1]], note="hello")
+    assert "note: hello" in text
+
+
+def test_series_table_one_column_per_series():
+    text = series_table(
+        "Fig", "n", [1, 2], {"none": [10, 20], "dynamic": [11, 21]}, unit="ms"
+    )
+    assert "none (ms)" in text and "dynamic (ms)" in text
+    assert "21" in text
+
+
+def test_series_table_handles_missing_points():
+    text = series_table("Fig", "n", [1, 2], {"s": [10]})
+    assert "-" in text
+
+
+def test_shape_check_markers():
+    assert shape_check("ok", True).startswith("[PASS]")
+    assert shape_check("bad", False).startswith("[FAIL]")

@@ -1,0 +1,92 @@
+"""Tests for the MULTIPLE-MAPPINGS conflict notifier."""
+
+from repro.naming import ConflictNotifier, MappingRecord, NamingDatabase
+from repro.vsync.view import ViewId
+
+
+def rec(lwg, view, hwg, coordinator="c0", version=1):
+    return MappingRecord(
+        lwg=lwg, lwg_view=view, lwg_members=(coordinator, "m1"), hwg=hwg,
+        hwg_view=ViewId("h", 1), version=version, writer=coordinator,
+    )
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0
+
+    def __call__(self):
+        return self.t
+
+
+def make(renotify=1000):
+    sent = []
+    clock = Clock()
+    notifier = ConflictNotifier(
+        "ns0", lambda target, msg: sent.append((target, msg)), clock,
+        renotify_period_us=renotify,
+    )
+    return notifier, sent, clock
+
+
+def test_notifies_all_view_coordinators():
+    notifier, sent, _ = make()
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1", coordinator="p0"))
+    db.apply(rec("lwg:a", ViewId("p5", 1), "hwg:2", coordinator="p5"))
+    count = notifier.check(db)
+    assert count == 2
+    targets = {t for t, _ in sent}
+    assert targets == {"p0", "p5"}
+    # The message carries all the stored mappings (Section 6.1).
+    assert len(sent[0][1].records) == 2
+
+
+def test_no_notification_without_conflict():
+    notifier, sent, _ = make()
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1"))
+    assert notifier.check(db) == 0
+    assert sent == []
+
+
+def test_same_conflict_not_renotified_immediately():
+    notifier, sent, _ = make()
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1", coordinator="p0"))
+    db.apply(rec("lwg:a", ViewId("p5", 1), "hwg:2", coordinator="p5"))
+    notifier.check(db)
+    assert notifier.check(db) == 0
+
+
+def test_persistent_conflict_renotified_after_period():
+    notifier, sent, clock = make(renotify=1000)
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1", coordinator="p0"))
+    db.apply(rec("lwg:a", ViewId("p5", 1), "hwg:2", coordinator="p5"))
+    notifier.check(db)
+    clock.t = 2000
+    assert notifier.check(db) == 2
+
+
+def test_changed_conflict_renotified_immediately():
+    notifier, sent, _ = make()
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1", coordinator="p0"))
+    db.apply(rec("lwg:a", ViewId("p5", 1), "hwg:2", coordinator="p5"))
+    notifier.check(db)
+    db.apply(rec("lwg:a", ViewId("p9", 1), "hwg:3", coordinator="p9"))
+    assert notifier.check(db) == 3
+
+
+def test_resolved_conflict_clears_state():
+    notifier, sent, clock = make(renotify=1000)
+    db = NamingDatabase()
+    left, right = ViewId("p0", 1), ViewId("p5", 1)
+    db.apply(rec("lwg:a", left, "hwg:1", coordinator="p0"))
+    db.apply(rec("lwg:a", right, "hwg:2", coordinator="p5"))
+    notifier.check(db)
+    merged = ViewId("p0", 2)
+    db.apply(rec("lwg:a", merged, "hwg:2", version=2), parents=[left, right])
+    clock.t = 5000
+    assert notifier.check(db) == 0

@@ -1,0 +1,154 @@
+"""End-to-end tests of naming client and servers over the sim network."""
+
+from tests.helpers import run_until
+
+from repro.naming import MappingRecord, NameServer, NamingClient, databases_consistent
+from repro.sim import SECOND
+from repro.vsync import GroupAddressing, ProtocolStack
+from repro.vsync.view import ViewId
+
+
+def setup(env, num_servers=2, clients=("p0",)):
+    server_ids = [f"ns{i}" for i in range(num_servers)]
+    servers = {i: NameServer(env, i, peers=server_ids) for i in server_ids}
+    addressing = GroupAddressing()
+    stacks = {c: ProtocolStack(env, c, addressing) for c in clients}
+    naming_clients = {c: NamingClient(stacks[c], server_ids) for c in clients}
+    return servers, stacks, naming_clients
+
+
+def rec(client, lwg, view, hwg, members=("p0",)):
+    return MappingRecord(
+        lwg=lwg, lwg_view=view, lwg_members=members, hwg=hwg,
+        hwg_view=ViewId("h", 1), version=client.next_version(), writer=client.node,
+    )
+
+
+def test_set_then_read(env):
+    servers, stacks, clients = setup(env)
+    client = clients["p0"]
+    replies = []
+    client.set(rec(client, "lwg:a", ViewId("p0", 1), "hwg:1"))
+    client.read("lwg:a", lambda records: replies.append(records))
+    env.sim.run_until(1 * SECOND)
+    assert replies and replies[0][0].hwg == "hwg:1"
+
+
+def test_testset_returns_existing_mapping(env):
+    servers, stacks, clients = setup(env)
+    client = clients["p0"]
+    replies = []
+    client.set(rec(client, "lwg:a", ViewId("p0", 1), "hwg:1"))
+    env.sim.run_until(1 * SECOND)
+    proposal = rec(client, "lwg:a", ViewId("p0", 99), "hwg:LOSER")
+    client.testset(proposal, on_reply=lambda records: replies.append(records))
+    env.sim.run_until(2 * SECOND)
+    hwgs = {r.hwg for r in replies[0]}
+    assert "hwg:1" in hwgs
+    # The losing proposal was not installed at the contacted server.
+    assert all(not db_has(servers, "hwg:LOSER") for _ in [0])
+
+
+def db_has(servers, hwg):
+    return any(
+        any(r.hwg == hwg for r in s.db.snapshot()) for s in servers.values()
+    )
+
+
+def test_testset_installs_when_absent(env):
+    servers, stacks, clients = setup(env)
+    client = clients["p0"]
+    replies = []
+    proposal = rec(client, "lwg:new", ViewId("p0", 1), "hwg:mine")
+    client.testset(proposal, on_reply=lambda records: replies.append(records))
+    env.sim.run_until(1 * SECOND)
+    assert replies[0][0].hwg == "hwg:mine"
+
+
+def test_eager_push_replicates_writes(env):
+    servers, stacks, clients = setup(env)
+    client = clients["p0"]
+    client.set(rec(client, "lwg:a", ViewId("p0", 1), "hwg:1"))
+    env.sim.run_until(1 * SECOND)
+    assert databases_consistent([s.db for s in servers.values()])
+    assert all(len(s.db) == 1 for s in servers.values())
+
+
+def test_unset_tombstones_mapping(env):
+    servers, stacks, clients = setup(env)
+    client = clients["p0"]
+    view = ViewId("p0", 1)
+    client.set(rec(client, "lwg:a", view, "hwg:1"))
+    env.sim.run_until(1 * SECOND)
+    tombstone = MappingRecord(
+        lwg="lwg:a", lwg_view=view, lwg_members=("p0",), hwg="hwg:1",
+        hwg_view=ViewId("h", 1), version=client.next_version(),
+        writer=client.node, deleted=True,
+    )
+    client.unset(tombstone)
+    env.sim.run_until(2 * SECOND)
+    assert all(s.db.live_records("lwg:a") == [] for s in servers.values())
+
+
+def test_client_retries_on_unreachable_server(env):
+    servers, stacks, clients = setup(env, num_servers=2)
+    client = clients["p0"]
+    # Cut the client off from whichever server it would try first;
+    # rotation must find the other one.
+    env.network.set_partitions([["p0", "ns1"], ["ns0"]])
+    replies = []
+    client.set(rec(client, "lwg:a", ViewId("p0", 1), "hwg:1"),
+               on_reply=lambda records: replies.append(records))
+    assert run_until(env, lambda: bool(replies), timeout_s=5)
+    assert client.retries >= 0  # rotation may or may not have been needed
+    assert len(servers["ns1"].db) == 1
+
+
+def test_gossip_reconciles_after_partition(env):
+    servers, stacks, clients = setup(env, num_servers=2, clients=("p0", "p5"))
+    env.network.set_partitions([["p0", "ns0"], ["p5", "ns1"]])
+    c0, c5 = clients["p0"], clients["p5"]
+    c0.set(rec(c0, "lwg:a", ViewId("p0", 1), "hwg:1"))
+    c5.set(rec(c5, "lwg:a", ViewId("p5", 1), "hwg:2", members=("p5",)))
+    env.sim.run_until(2 * SECOND)
+    assert len(servers["ns0"].db) == 1
+    assert len(servers["ns1"].db) == 1
+    env.network.heal()
+    assert run_until(
+        env,
+        lambda: databases_consistent([servers["ns0"].db, servers["ns1"].db])
+        and len(servers["ns0"].db) == 2,
+        timeout_s=5,
+    )
+
+
+def test_multiple_mappings_callback_reaches_coordinators(env):
+    servers, stacks, clients = setup(env, num_servers=2, clients=("p0", "p5"))
+    callbacks = {"p0": [], "p5": []}
+    for node, client in clients.items():
+        client.on_multiple_mappings = (
+            lambda msg, n=node: callbacks[n].append(msg)
+        )
+    env.network.set_partitions([["p0", "ns0"], ["p5", "ns1"]])
+    c0, c5 = clients["p0"], clients["p5"]
+    c0.set(rec(c0, "lwg:a", ViewId("p0", 1), "hwg:1", members=("p0",)))
+    c5.set(rec(c5, "lwg:a", ViewId("p5", 1), "hwg:2", members=("p5",)))
+    env.sim.run_until(2 * SECOND)
+    env.network.heal()
+    assert run_until(env, lambda: callbacks["p0"] and callbacks["p5"], timeout_s=5)
+    message = callbacks["p0"][0]
+    assert message.lwg == "lwg:a"
+    assert len(message.records) == 2
+
+
+def test_three_servers_converge(env):
+    servers, stacks, clients = setup(env, num_servers=3)
+    client = clients["p0"]
+    for i in range(5):
+        client.set(rec(client, f"lwg:g{i}", ViewId("p0", i + 1), f"hwg:{i}"))
+    assert run_until(
+        env,
+        lambda: databases_consistent([s.db for s in servers.values()])
+        and len(servers["ns0"].db) == 5,
+        timeout_s=5,
+    )

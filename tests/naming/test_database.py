@@ -1,0 +1,135 @@
+"""Tests for the naming database: LWW, genealogy GC, conflicts."""
+
+from repro.naming import MappingRecord, NamingDatabase
+from repro.vsync.view import ViewId
+
+
+def rec(lwg, view, hwg, version=1, writer="w", members=("m0", "m1"), deleted=False,
+        hwg_view=None):
+    return MappingRecord(
+        lwg=lwg,
+        lwg_view=view,
+        lwg_members=members,
+        hwg=hwg,
+        hwg_view=hwg_view or ViewId("h", 1),
+        version=version,
+        writer=writer,
+        deleted=deleted,
+    )
+
+
+def test_apply_inserts_record():
+    db = NamingDatabase()
+    assert db.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1"))
+    assert len(db) == 1
+
+
+def test_apply_lww_by_version():
+    db = NamingDatabase()
+    view = ViewId("p0", 1)
+    db.apply(rec("lwg:a", view, "hwg:1", version=2))
+    assert not db.apply(rec("lwg:a", view, "hwg:OLD", version=1))
+    assert db.apply(rec("lwg:a", view, "hwg:NEW", version=3))
+    assert db.live_records("lwg:a")[0].hwg == "hwg:NEW"
+
+
+def test_apply_lww_tie_broken_by_writer():
+    db = NamingDatabase()
+    view = ViewId("p0", 1)
+    db.apply(rec("lwg:a", view, "hwg:1", version=1, writer="a"))
+    assert db.apply(rec("lwg:a", view, "hwg:2", version=1, writer="b"))
+    assert not db.apply(rec("lwg:a", view, "hwg:3", version=1, writer="a"))
+
+
+def test_concurrent_views_coexist():
+    """Table 3: the merged database holds both partitions' mappings."""
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1"))
+    db.apply(rec("lwg:a", ViewId("p5", 1), "hwg:2"))
+    assert len(db.live_records("lwg:a")) == 2
+
+
+def test_gc_removes_ancestor_mappings():
+    """Table 4 stage 4: registering the merged view deletes its parents."""
+    db = NamingDatabase()
+    left, right = ViewId("p0", 1), ViewId("p5", 1)
+    merged = ViewId("p0", 2)
+    db.apply(rec("lwg:a", left, "hwg:1"))
+    db.apply(rec("lwg:a", right, "hwg:2"))
+    db.apply(rec("lwg:a", merged, "hwg:2", version=2), parents=[left, right])
+    records = db.live_records("lwg:a")
+    assert len(records) == 1
+    assert records[0].lwg_view == merged
+
+
+def test_gc_is_transitive():
+    db = NamingDatabase()
+    v1, v2, v3 = ViewId("p", 1), ViewId("p", 2), ViewId("p", 3)
+    db.apply(rec("lwg:a", v1, "hwg:1"))
+    db.apply(rec("lwg:a", v3, "hwg:1", version=3), parents=[v2])
+    # v2's ancestry arrives later (e.g. via gossip): v1 <- v2.
+    db.absorb_genealogy({v2: (v1,)})
+    assert db.garbage_collect() == 1
+    assert [r.lwg_view for r in db.live_records("lwg:a")] == [v3]
+
+
+def test_gc_does_not_cross_lwgs():
+    db = NamingDatabase()
+    v1, v2 = ViewId("p", 1), ViewId("p", 2)
+    db.apply(rec("lwg:a", v1, "hwg:1"))
+    db.apply(rec("lwg:b", v2, "hwg:1"), parents=[v1])
+    # v1 is an ancestor of v2, but they belong to different LWGs.
+    assert len(db.live_records("lwg:a")) == 1
+
+
+def test_conflicts_require_different_hwgs():
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1"))
+    db.apply(rec("lwg:a", ViewId("p5", 1), "hwg:1"))  # same HWG: no conflict
+    assert db.conflicts() == {}
+    db.apply(rec("lwg:a", ViewId("p9", 1), "hwg:2"))
+    assert "lwg:a" in db.conflicts()
+
+
+def test_deleted_records_are_not_live():
+    db = NamingDatabase()
+    view = ViewId("p0", 1)
+    db.apply(rec("lwg:a", view, "hwg:1", version=1))
+    db.apply(rec("lwg:a", view, "hwg:1", version=2, deleted=True))
+    assert db.live_records("lwg:a") == []
+    assert db.lwgs() == set()
+
+
+def test_digest_and_missing_records():
+    db1, db2 = NamingDatabase(), NamingDatabase()
+    r1 = rec("lwg:a", ViewId("p0", 1), "hwg:1", version=1)
+    r2 = rec("lwg:b", ViewId("p1", 1), "hwg:2", version=1)
+    db1.apply(r1)
+    db1.apply(r2)
+    db2.apply(r1)
+    missing = db1.records_missing_from(db2.digest())
+    assert missing == [r2]
+
+
+def test_missing_records_include_newer_versions():
+    db1, db2 = NamingDatabase(), NamingDatabase()
+    view = ViewId("p0", 1)
+    db1.apply(rec("lwg:a", view, "hwg:NEW", version=5))
+    db2.apply(rec("lwg:a", view, "hwg:OLD", version=1))
+    missing = db1.records_missing_from(db2.digest())
+    assert len(missing) == 1 and missing[0].hwg == "hwg:NEW"
+
+
+def test_live_records_sorted_deterministically():
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("z", 1), "hwg:2"))
+    db.apply(rec("lwg:a", ViewId("a", 1), "hwg:1"))
+    records = db.live_records("lwg:a")
+    assert records[0].lwg_view == ViewId("a", 1)
+
+
+def test_snapshot_lists_everything_including_tombstones():
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p", 1), "hwg:1", deleted=True))
+    assert len(db.snapshot()) == 1
+    assert db.live_records("lwg:a") == []

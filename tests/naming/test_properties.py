@@ -1,0 +1,121 @@
+"""Property-based tests of the naming database's replication semantics.
+
+The reconciliation design rests on three algebraic properties of the
+store: applying records is *commutative* (any delivery order converges),
+*idempotent* (retries are free) and *monotone under gossip* (push-pull
+exchanges always converge replicas to the same state).  Hypothesis
+drives them with random record batches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.naming import MappingRecord, NamingDatabase, absorb, databases_consistent
+from repro.naming.reconciliation import genealogy_to_send, records_to_send
+from repro.vsync.view import ViewId
+
+lwg_ids = st.sampled_from(["lwg:a", "lwg:b", "lwg:c"])
+writers = st.sampled_from(["p0", "p1", "p2"])
+hwgs = st.sampled_from(["hwg:x", "hwg:y", "hwg:z"])
+
+
+@st.composite
+def records(draw):
+    lwg = draw(lwg_ids)
+    writer = draw(writers)
+    seq = draw(st.integers(min_value=1, max_value=4))
+    return MappingRecord(
+        lwg=lwg,
+        lwg_view=ViewId(writer, seq),
+        lwg_members=(writer,),
+        hwg=draw(hwgs),
+        hwg_view=ViewId("h", draw(st.integers(min_value=1, max_value=3))),
+        version=draw(st.integers(min_value=1, max_value=5)),
+        writer=writer,
+        deleted=draw(st.booleans()),
+    )
+
+
+record_batches = st.lists(records(), min_size=0, max_size=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=record_batches, order_seed=st.randoms(use_true_random=False))
+def test_apply_order_does_not_matter(batch, order_seed):
+    forward = NamingDatabase()
+    shuffled_db = NamingDatabase()
+    for record in batch:
+        forward.apply(record)
+    shuffled = list(batch)
+    order_seed.shuffle(shuffled)
+    for record in shuffled:
+        shuffled_db.apply(record)
+    assert forward.snapshot() == shuffled_db.snapshot()
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=record_batches)
+def test_apply_is_idempotent(batch):
+    once = NamingDatabase()
+    twice = NamingDatabase()
+    for record in batch:
+        once.apply(record)
+    for record in batch + batch:
+        twice.apply(record)
+    assert once.snapshot() == twice.snapshot()
+
+
+def push_pull(a: NamingDatabase, b: NamingDatabase) -> None:
+    absorb(a, records_to_send(b, a.digest()), genealogy_to_send(b, a.genealogy_edges()))
+    absorb(b, records_to_send(a, b.digest()), genealogy_to_send(a, b.genealogy_edges()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch_a=record_batches, batch_b=record_batches)
+def test_push_pull_converges_two_replicas(batch_a, batch_b):
+    a, b = NamingDatabase(), NamingDatabase()
+    for record in batch_a:
+        a.apply(record)
+    for record in batch_b:
+        b.apply(record)
+    push_pull(a, b)
+    assert databases_consistent([a, b])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batches=st.lists(record_batches, min_size=3, max_size=3),
+    pair_order=st.permutations([(0, 1), (1, 2), (0, 2)]),
+)
+def test_gossip_rounds_converge_three_replicas(batches, pair_order):
+    replicas = [NamingDatabase() for _ in range(3)]
+    for replica, batch in zip(replicas, batches):
+        for record in batch:
+            replica.apply(record)
+    # Two sweeps over all pairs always suffice for 3 replicas.
+    for _ in range(2):
+        for i, j in pair_order:
+            push_pull(replicas[i], replicas[j])
+    assert databases_consistent(replicas)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=record_batches)
+def test_gc_never_removes_maximal_views(batch):
+    """GC only ever removes records whose view has a recorded descendant."""
+    db = NamingDatabase()
+    for record in batch:
+        db.apply(record)
+    # Link every view of each lwg into a chain ordered by (writer, seq)
+    views_by_lwg = {}
+    for record in db.snapshot():
+        views_by_lwg.setdefault(record.lwg, []).append(record.lwg_view)
+    for lwg, views in views_by_lwg.items():
+        ordered = sorted(set(views))
+        for parent, child in zip(ordered, ordered[1:]):
+            db.absorb_genealogy({child: (parent,)})
+    db.garbage_collect()
+    for lwg, views in views_by_lwg.items():
+        keys = [k for k in (r.key for r in db.snapshot()) if k[0] == lwg]
+        if views:
+            assert (lwg, max(set(views))) in keys  # the maximum survives

@@ -1,0 +1,88 @@
+"""Tests for the pure reconciliation arithmetic."""
+
+from repro.naming import MappingRecord, NamingDatabase, absorb, databases_consistent
+from repro.naming.reconciliation import genealogy_to_send, records_to_send
+from repro.vsync.view import ViewId
+
+
+def rec(lwg, view, hwg, version=1, writer="w"):
+    return MappingRecord(
+        lwg=lwg, lwg_view=view, lwg_members=("m",), hwg=hwg,
+        hwg_view=ViewId("h", 1), version=version, writer=writer,
+    )
+
+
+def test_absorb_applies_new_records():
+    db = NamingDatabase()
+    result = absorb(db, [rec("lwg:a", ViewId("p", 1), "hwg:1")], {})
+    assert result.applied == 1
+    assert result.touched_lwgs == {"lwg:a"}
+
+
+def test_absorb_ignores_stale_records():
+    db = NamingDatabase()
+    view = ViewId("p", 1)
+    db.apply(rec("lwg:a", view, "hwg:NEW", version=5))
+    result = absorb(db, [rec("lwg:a", view, "hwg:OLD", version=1)], {})
+    assert result.applied == 0 and result.ignored == 1
+
+
+def test_absorb_genealogy_first_enables_gc():
+    """A record plus the genealogy that obsoletes an old one, in one batch."""
+    db = NamingDatabase()
+    old_view, new_view = ViewId("p", 1), ViewId("p", 2)
+    db.apply(rec("lwg:a", old_view, "hwg:1"))
+    result = absorb(
+        db,
+        [rec("lwg:a", new_view, "hwg:2", version=2)],
+        {new_view: (old_view,)},
+    )
+    assert result.applied == 1
+    assert [r.lwg_view for r in db.live_records("lwg:a")] == [new_view]
+
+
+def test_genealogy_only_update_can_gc():
+    db = NamingDatabase()
+    v1, v2 = ViewId("p", 1), ViewId("p", 2)
+    db.apply(rec("lwg:a", v1, "hwg:1"))
+    db.apply(rec("lwg:a", v2, "hwg:2", version=2))
+    result = absorb(db, [], {v2: (v1,)})
+    assert result.gc_removed == 1
+
+
+def test_push_pull_exchange_converges_two_replicas():
+    db1, db2 = NamingDatabase(), NamingDatabase()
+    db1.apply(rec("lwg:a", ViewId("p0", 1), "hwg:1"))
+    db2.apply(rec("lwg:b", ViewId("p5", 1), "hwg:2"))
+    # Simulate the 3-message exchange.
+    to_db1 = records_to_send(db2, db1.digest())
+    absorb(db1, to_db1, genealogy_to_send(db2, db1.genealogy_edges()))
+    to_db2 = records_to_send(db1, db2.digest())
+    absorb(db2, to_db2, genealogy_to_send(db1, db2.genealogy_edges()))
+    assert databases_consistent([db1, db2])
+    assert len(db1.live_records("lwg:a")) == 1
+    assert len(db1.live_records("lwg:b")) == 1
+
+
+def test_genealogy_to_send_skips_known_children():
+    db = NamingDatabase()
+    child = ViewId("p", 2)
+    db.absorb_genealogy({child: (ViewId("p", 1),)})
+    assert genealogy_to_send(db, [child]) == {}
+    assert child in genealogy_to_send(db, [])
+
+
+def test_databases_consistent_detects_divergence():
+    db1, db2 = NamingDatabase(), NamingDatabase()
+    db1.apply(rec("lwg:a", ViewId("p", 1), "hwg:1"))
+    assert not databases_consistent([db1, db2])
+    assert databases_consistent([db1])
+
+
+def test_idempotent_absorb():
+    db = NamingDatabase()
+    record = rec("lwg:a", ViewId("p", 1), "hwg:1")
+    absorb(db, [record], {})
+    result = absorb(db, [record], {})
+    assert result.applied == 0
+    assert len(db) == 1

@@ -1,0 +1,37 @@
+"""Tests for mapping records."""
+
+from repro.naming import MappingRecord
+from repro.vsync.view import ViewId
+
+
+def make(version=1, writer="w", deleted=False):
+    return MappingRecord(
+        lwg="lwg:a", lwg_view=ViewId("p0", 1), lwg_members=("p0", "p1"),
+        hwg="hwg:x", hwg_view=ViewId("p0", 9), version=version, writer=writer,
+        deleted=deleted,
+    )
+
+
+def test_key_is_lwg_and_view():
+    record = make()
+    assert record.key == ("lwg:a", ViewId("p0", 1))
+
+
+def test_coordinator_is_first_member():
+    assert make().coordinator == "p0"
+
+
+def test_newer_than_by_version_then_writer():
+    assert make(version=2).newer_than(make(version=1))
+    assert make(version=1, writer="z").newer_than(make(version=1, writer="a"))
+    assert not make(version=1).newer_than(make(version=1))
+
+
+def test_str_marks_deleted():
+    assert "[deleted]" in str(make(deleted=True))
+    assert "[deleted]" not in str(make())
+
+
+def test_records_are_immutable_and_hashable():
+    record = make()
+    assert hash(record) == hash(make())

@@ -1,0 +1,71 @@
+"""Property-based tests of the event engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulation
+
+
+@settings(max_examples=80, deadline=None)
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000), max_size=40))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulation()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=80, deadline=None)
+@given(delays=st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=30))
+def test_ties_fire_in_insertion_order(delays):
+    sim = Simulation()
+    fired = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, lambda i=index: fired.append(i))
+    sim.run()
+    # Within each timestamp, indices must appear in insertion order.
+    by_time = {}
+    for position, index in enumerate(fired):
+        by_time.setdefault(delays[index], []).append(index)
+    for indices in by_time.values():
+        assert indices == sorted(indices)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=30),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+)
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    sim = Simulation()
+    fired = []
+    handles = []
+    for index, delay in enumerate(delays):
+        handles.append(sim.schedule(delay, lambda i=index: fired.append(i)))
+    cancelled = set()
+    for index, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            handle.cancel()
+            cancelled.add(index)
+    sim.run()
+    assert not (set(fired) & cancelled)
+    assert set(fired) == set(range(len(delays))) - cancelled
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    splits=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20),
+    horizon=st.integers(min_value=0, max_value=1500),
+)
+def test_run_until_is_a_clean_cut(splits, horizon):
+    sim = Simulation()
+    fired = []
+    for delay in splits:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run_until(horizon)
+    assert all(d <= horizon for d in fired)
+    assert sorted(fired) == sorted(d for d in splits if d <= horizon)
+    assert sim.now == horizon

@@ -1,0 +1,115 @@
+"""Tests for the Process actor base class."""
+
+from repro.sim import Process, SimEnv
+
+
+class Echo(Process):
+    def __init__(self, env, node):
+        super().__init__(env, node)
+        self.received = []
+        self.crashes = 0
+        self.recoveries = 0
+
+    def on_message(self, src, msg, size):
+        self.received.append((src, msg))
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+def test_send_between_processes(env):
+    a, b = Echo(env, "a"), Echo(env, "b")
+    a.send("b", "hi")
+    env.sim.run()
+    assert b.received == [("a", "hi")]
+
+
+def test_multicast(env):
+    a, b, c = Echo(env, "a"), Echo(env, "b"), Echo(env, "c")
+    a.multicast(["b", "c"], "all")
+    env.sim.run()
+    assert b.received == [("a", "all")]
+    assert c.received == [("a", "all")]
+
+
+def test_timer_fires(env):
+    a = Echo(env, "a")
+    fired = []
+    a.set_timer(100, lambda: fired.append(env.sim.now))
+    env.sim.run()
+    assert fired == [100]
+
+
+def test_crash_cancels_timers(env):
+    a = Echo(env, "a")
+    fired = []
+    a.set_timer(100, lambda: fired.append(True))
+    env.failures.crash_now("a")
+    env.sim.run()
+    assert fired == []
+    assert a.crashes == 1
+
+
+def test_crashed_process_ignores_messages(env):
+    a, b = Echo(env, "a"), Echo(env, "b")
+    env.failures.crash_now("b")
+    a.send("b", "x")
+    env.sim.run()
+    assert b.received == []
+
+
+def test_crashed_process_cannot_send(env):
+    a, b = Echo(env, "a"), Echo(env, "b")
+    env.failures.crash_now("a")
+    assert a.send("b", "x") is False
+    env.sim.run()
+    assert b.received == []
+
+
+def test_recovery_hook_and_messaging(env):
+    a, b = Echo(env, "a"), Echo(env, "b")
+    env.failures.crash_now("b")
+    env.failures.recover_now("b")
+    assert b.recoveries == 1
+    a.send("b", "again")
+    env.sim.run()
+    assert b.received == [("a", "again")]
+
+
+def test_periodic_timer_repeats(env):
+    a = Echo(env, "a")
+    ticks = []
+    a.set_periodic(1000, lambda: ticks.append(env.sim.now))
+    env.sim.run_until(5500)
+    assert len(ticks) == 5
+
+
+def test_periodic_stops_on_crash(env):
+    a = Echo(env, "a")
+    ticks = []
+    a.set_periodic(1000, lambda: ticks.append(True))
+    env.sim.run_until(2500)
+    env.failures.crash_now("a")
+    env.sim.run_until(10_000)
+    assert len(ticks) == 2
+
+
+def test_periodic_jitter_stays_within_bounds(env):
+    a = Echo(env, "a")
+    ticks = []
+    a.set_periodic(1000, lambda: ticks.append(env.sim.now), jitter_stream="test")
+    env.sim.run_until(20_000)
+    gaps = [b - t for t, b in zip(ticks, ticks[1:])]
+    assert all(1000 <= g <= 1100 for g in gaps)
+
+
+def test_scheduled_failure_events(env):
+    a = Echo(env, "a")
+    env.failures.crash_at(500, "a").recover_at(900, "a")
+    env.sim.run_until(600)
+    assert a.crashed
+    env.sim.run_until(1000)
+    assert not a.crashed

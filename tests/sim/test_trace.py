@@ -1,0 +1,71 @@
+"""Tests for the structured tracer."""
+
+from repro.sim import NullTracer, Tracer
+
+
+def make_tracer(keep=True):
+    clock = {"t": 0}
+    tracer = Tracer(clock=lambda: clock["t"], keep_records=keep)
+    return tracer, clock
+
+
+def test_emit_records_time_and_fields():
+    tracer, clock = make_tracer()
+    clock["t"] = 55
+    tracer.emit("cat", "evt", a=1, b="x")
+    record = tracer.records[0]
+    assert record.time == 55
+    assert record.category == "cat"
+    assert record.event == "evt"
+    assert record.fields == {"a": 1, "b": "x"}
+
+
+def test_select_filters_by_category_and_event():
+    tracer, _ = make_tracer()
+    tracer.emit("net", "send")
+    tracer.emit("net", "recv")
+    tracer.emit("hwg", "send")
+    assert len(tracer.select(category="net")) == 2
+    assert len(tracer.select(event="send")) == 2
+    assert len(tracer.select(category="net", event="send")) == 1
+
+
+def test_subscribe_receives_all_records():
+    tracer, _ = make_tracer(keep=False)
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.emit("a", "b")
+    assert len(seen) == 1
+    assert tracer.records == []  # keep_records=False
+
+
+def test_clear_keeps_listeners():
+    tracer, _ = make_tracer()
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.emit("a", "b")
+    tracer.clear()
+    assert tracer.records == []
+    tracer.emit("a", "c")
+    assert len(seen) == 2
+
+
+def test_dump_filters_by_category():
+    tracer, _ = make_tracer()
+    tracer.emit("x", "one", k=1)
+    tracer.emit("y", "two")
+    dump = tracer.dump(categories=["x"])
+    assert "x.one" in dump and "y.two" not in dump
+
+
+def test_record_str_contains_fields():
+    tracer, clock = make_tracer()
+    clock["t"] = 9
+    tracer.emit("c", "e", node="p1")
+    assert "node=p1" in str(tracer.records[0])
+
+
+def test_null_tracer_drops_everything():
+    tracer = NullTracer()
+    tracer.emit("a", "b", c=3)
+    assert tracer.records == []

@@ -1,0 +1,117 @@
+"""Tests for the reliable sliding-window transport."""
+
+import pytest
+
+from repro.sim import LinkModel, Process, ReliableTransport, SimEnv
+
+
+class Host(Process):
+    """A process pairing raw network delivery with a ReliableTransport."""
+
+    def __init__(self, env, node, **kwargs):
+        super().__init__(env, node)
+        self.delivered = []
+        self.transport = ReliableTransport(
+            env, node, lambda src, p, s: self.delivered.append((src, p)), **kwargs
+        )
+
+    def on_message(self, src, msg, size):
+        if ReliableTransport.is_segment(msg):
+            self.transport.on_segment(src, msg)
+
+
+def make_pair(seed=0, loss=0.0, **kwargs):
+    env = SimEnv.create(seed=seed, link=LinkModel(loss_probability=loss, jitter_us=0))
+    return env, Host(env, "a", **kwargs), Host(env, "b", **kwargs)
+
+
+def test_basic_delivery():
+    env, a, b = make_pair()
+    a.transport.send("b", "m1")
+    env.sim.run()
+    assert b.delivered == [("a", "m1")]
+
+
+def test_fifo_order_preserved():
+    env, a, b = make_pair()
+    for i in range(20):
+        a.transport.send("b", i)
+    env.sim.run()
+    assert [p for _, p in b.delivered] == list(range(20))
+
+
+def test_delivery_under_heavy_loss():
+    env, a, b = make_pair(loss=0.4)
+    for i in range(30):
+        a.transport.send("b", i)
+    env.sim.run_until(10_000_000)
+    assert [p for _, p in b.delivered] == list(range(30))
+    assert a.transport.retransmissions > 0
+
+
+def test_duplicates_are_suppressed():
+    env, a, b = make_pair(loss=0.3)
+    for i in range(10):
+        a.transport.send("b", i)
+    env.sim.run_until(10_000_000)
+    assert len(b.delivered) == 10
+
+
+def test_window_queues_excess_messages():
+    env, a, b = make_pair(window=4)
+    for i in range(50):
+        a.transport.send("b", i)
+    env.sim.run_until(20_000_000)
+    assert [p for _, p in b.delivered] == list(range(50))
+
+
+def test_give_up_skips_gap_for_later_messages():
+    """Messages lost to an unreachable peer must not wedge the channel."""
+    env, a, b = make_pair(max_retries=2)
+    env.network.set_partitions([["a"], ["b"]])
+    a.transport.send("b", "lost")
+    env.sim.run_until(2_000_000)  # retries exhausted, message abandoned
+    assert a.transport.gave_up == 1
+    env.network.heal()
+    a.transport.send("b", "after-heal")
+    env.sim.run_until(4_000_000)
+    assert ("a", "after-heal") in b.delivered
+    assert ("a", "lost") not in b.delivered
+
+
+def test_bidirectional_channels_are_independent():
+    env, a, b = make_pair()
+    a.transport.send("b", "ping")
+    b.transport.send("a", "pong")
+    env.sim.run()
+    assert b.delivered == [("a", "ping")]
+    assert a.delivered == [("b", "pong")]
+
+
+def test_restart_clears_state():
+    env, a, b = make_pair()
+    a.transport.send("b", "before")
+    env.sim.run()
+    a.transport.restart()
+    a.transport.send("b", "after")
+    env.sim.run()
+    assert [p for _, p in b.delivered] == ["before", "after"]
+
+
+def test_stop_silences_transport():
+    env, a, b = make_pair()
+    a.transport.stop()
+    a.transport.send("b", "never")
+    env.sim.run()
+    assert b.delivered == []
+
+
+def test_many_peers():
+    env = SimEnv.create(seed=1, link=LinkModel(jitter_us=0))
+    hub = Host(env, "hub")
+    spokes = [Host(env, f"s{i}") for i in range(5)]
+    for i, spoke in enumerate(spokes):
+        hub.transport.send(spoke.node, f"m{i}")
+    env.sim.run()
+    for i, spoke in enumerate(spokes):
+        assert spoke.delivered == [("hub", f"m{i}")]

@@ -1,0 +1,112 @@
+"""The Table-1 interface contract: Join, Leave, Send, View, Data, Stop, StopOk."""
+
+from tests.helpers import converged, make_group, run_until
+
+from repro.sim import SECOND
+from repro.vsync import EndpointState, GroupAddressing, HwgListener, ProtocolStack
+
+
+class ManualStopListener(HwgListener):
+    """A listener that defers StopOk until told (exercises the handshake)."""
+
+    def __init__(self):
+        self.pending_stop_ok = []
+        self.views = []
+        self.data = []
+
+    def on_view(self, group, view):
+        self.views.append(view)
+
+    def on_data(self, group, src, payload, size):
+        self.data.append(payload)
+
+    def on_stop(self, group, stop_ok):
+        self.pending_stop_ok.append(stop_ok)
+
+    @staticmethod
+    def auto() -> HwgListener:
+        """A listener with the default (auto-acknowledging) Stop handling."""
+        return HwgListener()
+
+
+def test_join_is_a_downcall_with_async_view_upcall(env):
+    addressing = GroupAddressing()
+    stack = ProtocolStack(env, "p0", addressing)
+    listener = ManualStopListener()
+    endpoint = stack.endpoint("g", listener)
+    endpoint.join()
+    assert listener.views == []  # nothing synchronous
+    env.sim.run_until(1 * SECOND)
+    assert len(listener.views) == 1
+
+
+def test_join_is_idempotent(env):
+    addressing = GroupAddressing()
+    stack = ProtocolStack(env, "p0", addressing)
+    endpoint = stack.endpoint("g")
+    endpoint.join()
+    endpoint.join()
+    env.sim.run_until(1 * SECOND)
+    assert endpoint.state is EndpointState.MEMBER
+
+
+def test_stop_blocks_view_change_until_stop_ok(env):
+    stacks, endpoints, _ = make_group(env, 2)
+    assert run_until(env, lambda: converged(endpoints, 2))
+    manual = ManualStopListener()
+    endpoints[1].listener = manual
+    view_before = endpoints[0].current_view.view_id
+    # A third process joins, forcing a view change (and thus a flush).
+    late_stack = ProtocolStack(env, "late", stacks[0].addressing)
+    late = late_stack.endpoint("g")
+    late.join()
+    # Hold StopOk briefly (shorter than the flush-stall exclusion window).
+    env.sim.run_until(env.sim.now + 300_000)
+    assert manual.pending_stop_ok
+    assert endpoints[0].current_view.view_id == view_before  # change held back
+    while manual.pending_stop_ok:
+        manual.pending_stop_ok.pop()()  # StopOk downcall
+    endpoints[1].listener = ManualStopListener.auto()
+    assert run_until(env, lambda: converged(endpoints + [late], 3), timeout_s=15)
+
+
+def test_member_that_never_stop_oks_is_excluded_then_reunited(env):
+    """A wedged member is dropped from the flush; once it acknowledges,
+    abandonment detection secedes it and the merge path reunites it."""
+    stacks, endpoints, _ = make_group(env, 3)
+    assert run_until(env, lambda: converged(endpoints, 3))
+    manual = ManualStopListener()
+    endpoints[2].listener = manual
+    late_stack = ProtocolStack(env, "late", stacks[0].addressing)
+    late = late_stack.endpoint("g")
+    late.join()
+    # p2 never answers: the others move on without it.
+    others = [endpoints[0], endpoints[1], late]
+    assert run_until(env, lambda: converged(others, 3), timeout_s=15)
+    assert "p2" not in others[0].current_view.members
+    # p2 finally wakes up; it secedes and the views re-merge.
+    while manual.pending_stop_ok:
+        manual.pending_stop_ok.pop()()
+    endpoints[2].listener = ManualStopListener.auto()
+    assert run_until(env, lambda: converged(endpoints + [late], 4), timeout_s=30)
+
+
+def test_default_listener_auto_acknowledges_stop(env):
+    stacks, endpoints, _ = make_group(env, 3)
+    assert run_until(env, lambda: converged(endpoints, 3))
+
+
+def test_leave_while_not_member_is_noop(env):
+    addressing = GroupAddressing()
+    stack = ProtocolStack(env, "p0", addressing)
+    endpoint = stack.endpoint("g")
+    endpoint.leave()  # never joined
+    assert endpoint.state is EndpointState.IDLE
+
+
+def test_data_upcall_carries_source_and_payload(env):
+    stacks, endpoints, listeners = make_group(env, 2)
+    assert run_until(env, lambda: converged(endpoints, 2))
+    endpoints[1].send({"k": 1}, size=64)
+    env.sim.run_until(env.sim.now + 1 * SECOND)
+    assert ("p1", {"k": 1}) in listeners[0].data

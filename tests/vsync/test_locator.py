@@ -1,0 +1,47 @@
+"""Tests for the group-address registry."""
+
+from repro.vsync import GroupAddressing
+
+
+def test_subscribe_and_query():
+    addressing = GroupAddressing()
+    addressing.subscribe("g", "a")
+    addressing.subscribe("g", "b")
+    assert addressing.subscribers("g") == {"a", "b"}
+
+
+def test_unsubscribe():
+    addressing = GroupAddressing()
+    addressing.subscribe("g", "a")
+    addressing.unsubscribe("g", "a")
+    assert addressing.subscribers("g") == set()
+
+
+def test_unsubscribe_unknown_is_noop():
+    addressing = GroupAddressing()
+    addressing.unsubscribe("g", "ghost")
+
+
+def test_unsubscribe_all():
+    addressing = GroupAddressing()
+    addressing.subscribe("g1", "a")
+    addressing.subscribe("g2", "a")
+    addressing.subscribe("g2", "b")
+    addressing.unsubscribe_all("a")
+    assert addressing.subscribers("g1") == set()
+    assert addressing.subscribers("g2") == {"b"}
+
+
+def test_groups_of():
+    addressing = GroupAddressing()
+    addressing.subscribe("g1", "a")
+    addressing.subscribe("g2", "a")
+    assert addressing.groups_of("a") == {"g1", "g2"}
+
+
+def test_subscribers_returns_copy():
+    addressing = GroupAddressing()
+    addressing.subscribe("g", "a")
+    copy = addressing.subscribers("g")
+    copy.add("evil")
+    assert addressing.subscribers("g") == {"a"}

@@ -1,0 +1,211 @@
+"""Unit tests for the coordinator-sequencer ordered channel.
+
+These drive :class:`OrderedChannel` directly through a fake host, so
+ordering, dedup-floor and flush-support logic are tested without the
+membership machinery.
+"""
+
+import pytest
+
+from repro.sim import SimEnv
+from repro.vsync.messages import Nack, Ordered, Publish
+from repro.vsync.total_order import OrderedChannel
+from repro.vsync.view import View, ViewId
+
+
+class FakeHost:
+    """Collects the channel's outputs instead of using a network."""
+
+    def __init__(self, env, node, group="g"):
+        self.env = env
+        self.node = node
+        self.group = group
+        self.multicasts = []
+        self.reliable = []
+        self.delivered = []
+
+    def multicast_view(self, msg, size):
+        self.multicasts.append(msg)
+
+    def reliable_send(self, dst, msg):
+        self.reliable.append((dst, msg))
+
+    def deliver_data(self, sender, payload, size):
+        self.delivered.append((sender, payload))
+
+
+@pytest.fixture
+def seq_host(env):
+    """A channel whose host is the view coordinator (sequencer)."""
+    host = FakeHost(env, "p0")
+    channel = OrderedChannel(host)
+    view = View("g", ViewId("p0", 1), ("p0", "p1"))
+    channel.install_view(view, {})
+    return host, channel, view
+
+
+def feed_own_multicasts(channel, host):
+    """Loop the sequencer's multicasts back into the channel."""
+    while host.multicasts:
+        channel.on_ordered(host.multicasts.pop(0))
+
+
+def test_sequencer_orders_and_multicasts(seq_host):
+    host, channel, _ = seq_host
+    channel.send("m1", 10)
+    channel.send("m2", 10)
+    assert [m.seq for m in host.multicasts] == [0, 1]
+    assert [m.payload for m in host.multicasts] == ["m1", "m2"]
+
+
+def test_non_coordinator_publishes_to_sequencer(env):
+    host = FakeHost(env, "p1")
+    channel = OrderedChannel(host)
+    channel.install_view(View("g", ViewId("p0", 1), ("p0", "p1")), {})
+    channel.send("m", 10)
+    assert len(host.reliable) == 1
+    dst, msg = host.reliable[0]
+    assert dst == "p0" and isinstance(msg, Publish)
+
+
+def test_delivery_in_sequence_order(seq_host):
+    host, channel, view = seq_host
+    channel.send("a", 1)
+    channel.send("b", 1)
+    # Deliver out of order: the channel must reorder.
+    second, first = host.multicasts[1], host.multicasts[0]
+    channel.on_ordered(second)
+    assert host.delivered == []
+    channel.on_ordered(first)
+    assert [p for _, p in host.delivered] == ["a", "b"]
+
+
+def test_duplicate_ordered_ignored(seq_host):
+    host, channel, _ = seq_host
+    channel.send("a", 1)
+    msg = host.multicasts[0]
+    channel.on_ordered(msg)
+    channel.on_ordered(msg)
+    assert len(host.delivered) == 1
+
+
+def test_gap_triggers_nack_after_delay(seq_host):
+    host, channel, view = seq_host
+    channel.send("a", 1)
+    channel.send("b", 1)
+    channel.on_ordered(host.multicasts[1])  # only seq 1; gap at 0
+    host.env.sim.run_until(100_000)
+    nacks = [m for _, m in host.reliable if isinstance(m, Nack)]
+    assert nacks and nacks[0].from_seq == 0
+
+
+def test_sequencer_retransmits_on_nack(seq_host):
+    host, channel, view = seq_host
+    channel.send("a", 1)
+    feed_own_multicasts(channel, host)
+    nack = Nack(group="g", view_id=view.view_id, from_seq=0, to_seq=0, requester="p1")
+    channel.on_nack(nack)
+    assert any(
+        dst == "p1" and isinstance(m, Ordered) and m.seq == 0
+        for dst, m in host.reliable
+    )
+
+
+def test_publish_dedup_within_view(seq_host):
+    host, channel, view = seq_host
+    publish = Publish(group="g", view_id=view.view_id, sender="p1", sender_seq=1, payload="x")
+    channel.on_publish("p1", publish)
+    channel.on_publish("p1", publish)
+    assert len(host.multicasts) == 1
+
+
+def test_stale_view_publish_ignored(seq_host):
+    host, channel, _ = seq_host
+    stale = Publish(group="g", view_id=ViewId("old", 9), sender="p1", sender_seq=1, payload="x")
+    channel.on_publish("p1", stale)
+    assert host.multicasts == []
+
+
+def test_frozen_channel_queues_sends(seq_host):
+    host, channel, view = seq_host
+    channel.freeze()
+    channel.send("queued", 1)
+    assert host.multicasts == []
+    # New view: pending messages are re-published.
+    new_view = View("g", ViewId("p0", 2), ("p0", "p1"), parents=(view.view_id,))
+    channel.install_view(new_view, {})
+    assert [m.payload for m in host.multicasts] == ["queued"]
+
+
+def test_dedup_floor_from_install_suppresses_republish(seq_host):
+    host, channel, view = seq_host
+    channel.freeze()
+    channel.send("dup", 1)
+    # The flush reveals this message was already delivered elsewhere.
+    new_view = View("g", ViewId("p0", 2), ("p0", "p1"), parents=(view.view_id,))
+    channel.install_view(new_view, {"p0": channel.my_send_seq})
+    assert host.multicasts == []
+
+
+def test_own_delivery_clears_pending(seq_host):
+    host, channel, _ = seq_host
+    channel.send("a", 1)
+    assert channel.pending
+    feed_own_multicasts(channel, host)
+    assert not channel.pending
+
+
+def test_floor_prevents_cross_view_duplicate_delivery(seq_host):
+    host, channel, view = seq_host
+    channel.send("a", 1)
+    feed_own_multicasts(channel, host)
+    assert len(host.delivered) == 1
+    # A new view carries our floor; a replayed Ordered must not deliver.
+    floor = channel.floor_snapshot()
+    new_view = View("g", ViewId("p0", 2), ("p0", "p1"), parents=(view.view_id,))
+    channel.install_view(new_view, floor)
+    replay = Publish(group="g", view_id=new_view.view_id, sender="p0", sender_seq=1, payload="a")
+    channel.on_publish("p0", replay)
+    assert host.multicasts == []
+
+
+# ----------------------------------------------------------------------
+# Flush support
+# ----------------------------------------------------------------------
+def test_have_upto_reflects_contiguous_prefix(seq_host):
+    host, channel, _ = seq_host
+    channel.send("a", 1)
+    channel.send("b", 1)
+    channel.on_ordered(host.multicasts[0])
+    assert channel.have_upto() == 0
+    channel.on_ordered(host.multicasts[1])
+    assert channel.have_upto() == 1
+
+
+def test_messages_above_returns_copies(seq_host):
+    host, channel, _ = seq_host
+    for payload in ("a", "b", "c"):
+        channel.send(payload, 1)
+    for msg in host.multicasts:
+        channel.on_ordered(msg)
+    above = channel.messages_above(0)
+    assert sorted(above) == [1, 2]
+
+
+def test_apply_fill_delivers_to_cut_and_drops_beyond(seq_host):
+    host, channel, _ = seq_host
+    for payload in ("a", "b", "c"):
+        channel.send(payload, 1)
+    messages = list(host.multicasts)
+    channel.on_ordered(messages[0])      # delivered: a
+    channel.on_ordered(messages[2])      # held out of order: c
+    channel.apply_fill(cut=1, missing={1: messages[1]})
+    assert [p for _, p in host.delivered] == ["a", "b"]
+    assert 2 not in channel.log  # beyond the cut: dropped (will re-publish)
+
+
+def test_apply_fill_raises_if_cut_unreachable(seq_host):
+    host, channel, _ = seq_host
+    channel.send("a", 1)
+    with pytest.raises(RuntimeError):
+        channel.apply_fill(cut=5, missing={})

@@ -1,0 +1,77 @@
+"""Unit tests for the churn driver's bookkeeping."""
+
+from repro.core import LwgConfig
+from repro.sim import SECOND
+from repro.workloads import ChurnDriver, ChurnModel, Cluster
+
+
+def small_cluster(seed=7):
+    config = LwgConfig()
+    config.policy_period_us = 2 * SECOND
+    config.shrink_grace_us = 1 * SECOND
+    return Cluster(num_processes=4, seed=seed, num_name_servers=2,
+                   lwg_config=config, keep_trace=False)
+
+
+def test_seed_membership_populates_expected():
+    cluster = small_cluster()
+    driver = ChurnDriver(cluster, groups=["a", "b"], seed=1)
+    driver.seed_membership(per_group=2)
+    assert all(len(members) == 2 for members in driver.expected.values())
+    ok, detail = driver.quiesced()
+    assert ok, detail
+
+
+def test_crash_updates_expectations():
+    cluster = small_cluster()
+    driver = ChurnDriver(cluster, groups=["a"], seed=2)
+    driver.seed_membership(per_group=3)
+    victim = next(iter(driver.expected["a"]))
+    driver._crash(victim)
+    assert victim in driver.crashed
+    assert victim not in driver.expected["a"]
+    assert ("crash", victim, "") in driver.log
+
+
+def test_min_alive_floor_is_respected():
+    cluster = small_cluster()
+    driver = ChurnDriver(
+        cluster, groups=["a"], seed=3, model=ChurnModel(min_alive=3)
+    )
+    driver.seed_membership(per_group=2)
+    for node in cluster.process_ids:
+        driver._crash(node)
+    assert len(driver.crashed) <= 1  # 4 processes - floor of 3
+
+
+def test_partition_and_heal_toggle():
+    cluster = small_cluster()
+    driver = ChurnDriver(cluster, groups=["a"], seed=4)
+    driver.seed_membership(per_group=2)
+    driver._partition()
+    assert driver.partitioned
+    driver._partition()  # idempotent
+    assert len([e for e in driver.log if e[0] == "partition"]) == 1
+    driver.finish()
+    assert not driver.partitioned
+
+
+def test_crashed_node_cannot_act():
+    cluster = small_cluster()
+    driver = ChurnDriver(cluster, groups=["a"], seed=5)
+    driver.seed_membership(per_group=2)
+    outsider = [n for n in cluster.process_ids if n not in driver.expected["a"]][0]
+    driver._crash(outsider)
+    driver._join(outsider, "a")
+    assert outsider not in driver.expected["a"]
+
+
+def test_schedule_is_reproducible():
+    logs = []
+    for _ in range(2):
+        cluster = small_cluster(seed=11)
+        driver = ChurnDriver(cluster, groups=["a", "b"], seed=11)
+        driver.seed_membership(per_group=2)
+        driver.run(steps=8)
+        logs.append(list(driver.log))
+    assert logs[0] == logs[1]

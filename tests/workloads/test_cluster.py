@@ -1,0 +1,64 @@
+"""Tests for the cluster assembly helper."""
+
+import pytest
+
+from repro.sim import SECOND
+from repro.workloads import Cluster
+
+
+def test_cluster_wires_processes_and_servers():
+    cluster = Cluster(num_processes=3, seed=1, num_name_servers=2)
+    assert len(cluster.process_ids) == 3
+    assert len(cluster.name_servers) == 2
+    assert cluster.service(0) is cluster.service("p0")
+
+
+def test_unknown_flavour_rejected():
+    with pytest.raises(ValueError):
+        Cluster(num_processes=1, flavour="bogus")
+
+
+def test_run_for_advances_clock():
+    cluster = Cluster(num_processes=1, seed=2)
+    cluster.run_for_seconds(1.5)
+    assert cluster.env.sim.now == int(1.5 * SECOND)
+
+
+def test_run_until_stops_early():
+    cluster = Cluster(num_processes=1, seed=3)
+    target = cluster.env.sim.now + 100_000
+    assert cluster.run_until(lambda: cluster.env.sim.now >= target, timeout_us=SECOND)
+    assert cluster.env.sim.now < SECOND
+
+
+def test_partition_and_heal_helpers():
+    cluster = Cluster(num_processes=2, seed=4)
+    cluster.partition(["p0"], ["p1"])
+    assert not cluster.env.network.reachable("p0", "p1")
+    cluster.heal()
+    assert cluster.env.network.reachable("p0", "p1")
+
+
+def test_crash_and_recover_helpers():
+    cluster = Cluster(num_processes=1, seed=5)
+    cluster.crash(0)
+    assert not cluster.env.network.is_alive("p0")
+    cluster.recover(0)
+    assert cluster.env.network.is_alive("p0")
+
+
+def test_none_flavour_has_no_naming_clients():
+    cluster = Cluster(num_processes=1, seed=6, flavour="none")
+    assert cluster.clients == {}
+
+
+def test_deterministic_given_seed():
+    def fingerprint(seed):
+        cluster = Cluster(num_processes=3, seed=seed)
+        handles = [cluster.service(i).join("g") for i in range(3)]
+        cluster.run_for_seconds(5)
+        view = handles[0].view
+        return (cluster.env.sim.now, str(view.view_id) if view else None,
+                cluster.env.network.messages_sent)
+
+    assert fingerprint(7) == fingerprint(7)

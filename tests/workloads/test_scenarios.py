@@ -1,0 +1,69 @@
+"""Tests for the Figure-2 scenario harness."""
+
+import pytest
+
+from repro.workloads import (
+    GROUP_SIZE,
+    build_figure2,
+    build_partition_scenario,
+    measure_latency,
+    measure_recovery,
+    measure_throughput,
+)
+
+
+@pytest.mark.parametrize("flavour", ["none", "static", "dynamic"])
+def test_figure2_builds_and_converges(flavour):
+    setup = build_figure2(n=2, flavour=flavour, seed=1)
+    assert setup.converged()
+    assert len(setup.all_groups) == 4
+    for group in setup.all_groups:
+        assert len(setup.members_of(group)) == GROUP_SIZE
+
+
+def test_figure2_dynamic_uses_two_hwgs():
+    setup = build_figure2(n=3, flavour="dynamic", seed=2)
+    hwgs = {handle.hwg for handle in setup.handles.values()}
+    assert len(hwgs) == 2
+
+
+def test_figure2_static_uses_one_hwg():
+    setup = build_figure2(n=3, flavour="static", seed=2)
+    hwgs = {handle.hwg for handle in setup.handles.values()}
+    assert len(hwgs) == 1
+
+
+def test_figure2_none_uses_one_hwg_per_group():
+    setup = build_figure2(n=3, flavour="none", seed=2)
+    hwgs = {handle.hwg for handle in setup.handles.values()}
+    assert len(hwgs) == 6
+
+
+def test_latency_measurement_returns_stats():
+    setup = build_figure2(n=2, flavour="dynamic", seed=3)
+    stats = measure_latency(setup, probes_per_group=4)
+    assert stats.count > 0
+    assert 0 < stats.mean_us < 1_000_000
+
+
+def test_throughput_measurement_positive():
+    setup = build_figure2(n=2, flavour="dynamic", seed=4)
+    throughput = measure_throughput(setup, burst_per_group=10)
+    assert throughput > 0
+
+
+def test_recovery_measurement_breakdown():
+    setup = build_figure2(n=2, flavour="dynamic", seed=5)
+    result = measure_recovery(setup)
+    assert result.total_us > 0
+    assert 0 <= result.detection_us <= result.total_us
+    assert result.reconfig_us == result.total_us - result.detection_us
+
+
+def test_partition_scenario_builds_crossed_mappings():
+    scenario = build_partition_scenario(num_groups=2, seed=6)
+    assert not scenario.converged()  # still partitioned
+    for group in scenario.groups:
+        hwg_a = scenario.handles[(group, scenario.side_a[0])].hwg
+        hwg_b = scenario.handles[(group, scenario.side_b[0])].hwg
+        assert hwg_a != hwg_b
