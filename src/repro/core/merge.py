@@ -164,10 +164,13 @@ class MergeManager:
     # ------------------------------------------------------------------
     def on_hwg_view(self, hwg: HwgId, view: View) -> None:
         """An HWG view installed: merge everything collected for it."""
+        was_active = hwg in self._requested or hwg in self._responded
         collected = self._collected.pop(hwg, {})
         self._requested.discard(hwg)
         self._responded.discard(hwg)
         self._round_token[hwg] = self._round_token.get(hwg, 0) + 1
+        if was_active:
+            self.svc.trace("merge_round_completed", hwg=hwg)
         if not collected:
             return
         alive = set(view.members)

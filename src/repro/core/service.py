@@ -383,6 +383,12 @@ class LwgService:
                 return
             self.stats.data_delivered += 1
             local.delivered += 1
+            self.trace(
+                "lwg_data_delivered",
+                lwg=message.lwg,
+                view=str(local.view.view_id),
+                sender=message.sender,
+            )
             local.listener.on_data(
                 message.lwg, message.sender, message.payload, message.payload_size
             )
@@ -656,6 +662,12 @@ class LwgService:
         for sender, payload, size in buffered:
             self.stats.data_delivered += 1
             local.delivered += 1
+            self.trace(
+                "lwg_data_delivered",
+                lwg=local.lwg,
+                view=str(local.view.view_id) if local.view else None,
+                sender=sender,
+            )
             local.listener.on_data(local.lwg, sender, payload, size)
 
     def adopt_created_view(self, local: LocalLwg, view: View, hwg: HwgId) -> None:

@@ -8,9 +8,20 @@ quantities the paper plots in Figure 2.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """The q-quantile of a sorted sample by the nearest-rank method.
+
+    Rank ``ceil(q * n)`` (1-based), clamped to the first element; for
+    q=0.5 this is the lower median, and the result is always an actual
+    sample value.
+    """
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
 
 
 @dataclass
@@ -31,8 +42,8 @@ class SummaryStats:
         return cls(
             count=len(ordered),
             mean_us=statistics.fmean(ordered),
-            p50_us=ordered[len(ordered) // 2],
-            p95_us=ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))],
+            p50_us=nearest_rank(ordered, 0.50),
+            p95_us=nearest_rank(ordered, 0.95),
             max_us=ordered[-1],
         )
 

@@ -11,7 +11,7 @@ must be aware of the partial order of views").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..vsync.view import ViewGenealogy, ViewId
 from .records import HwgId, LwgId, MappingRecord, RecordKey
@@ -25,6 +25,10 @@ class NamingDatabase:
         self.genealogy = ViewGenealogy()
         self.applied = 0
         self.gc_removed = 0
+        #: Optional observation hooks (wired by the server for tracing /
+        #: invariant checking; None-safe no-ops by default).
+        self.on_edge: Optional[Callable[[ViewId, Tuple[ViewId, ...]], None]] = None
+        self.on_gc: Optional[Callable[[LwgId, ViewId, ViewId], None]] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -43,6 +47,8 @@ class NamingDatabase:
         parents = tuple(parents)
         if parents:
             self.genealogy.record(record.lwg_view, parents)
+            if self.on_edge is not None:
+                self.on_edge(record.lwg_view, parents)
         existing = self._records.get(record.key)
         if existing is not None and not record.newer_than(existing):
             return False
@@ -65,12 +71,19 @@ class NamingDatabase:
             views = [k[1] for k in keys]
             for key in keys:
                 _, view = key
-                if any(
-                    other != view and self.genealogy.is_ancestor(view, other)
-                    for other in views
-                ):
+                witness = next(
+                    (
+                        other
+                        for other in views
+                        if other != view and self.genealogy.is_ancestor(view, other)
+                    ),
+                    None,
+                )
+                if witness is not None:
                     del self._records[key]
                     removed += 1
+                    if self.on_gc is not None:
+                        self.on_gc(target, view, witness)
         self.gc_removed += removed
         return removed
 
@@ -132,6 +145,8 @@ class NamingDatabase:
     def absorb_genealogy(self, edges: Dict[ViewId, Tuple[ViewId, ...]]) -> None:
         for child, parents in edges.items():
             self.genealogy.record(child, parents)
+            if self.on_edge is not None and parents:
+                self.on_edge(child, tuple(parents))
 
     def snapshot(self) -> List[MappingRecord]:
         """Every stored record (tests / reporting)."""

@@ -48,6 +48,8 @@ class NameServer(Process):
     ):
         super().__init__(env, node)
         self.db = NamingDatabase()
+        self.db.on_edge = self._trace_edge
+        self.db.on_gc = self._trace_gc
         self.peers: List[NodeId] = [p for p in peers if p != node]
         self.notifier = ConflictNotifier(
             server_id=node,
@@ -169,6 +171,28 @@ class NameServer(Process):
                 lwgs=sorted(result.touched_lwgs),
             )
         self.notifier.check(self.db)
+
+    # ------------------------------------------------------------------
+    # Database observation hooks (consumed by the invariant checkers)
+    # ------------------------------------------------------------------
+    def _trace_edge(self, child, parents) -> None:
+        self.env.tracer.emit(
+            "naming",
+            "genealogy_edge",
+            server=self.node,
+            child=str(child),
+            parents=[str(p) for p in parents],
+        )
+
+    def _trace_gc(self, lwg, view, witness) -> None:
+        self.env.tracer.emit(
+            "naming",
+            "record_gc",
+            server=self.node,
+            lwg=lwg,
+            view=str(view),
+            witness=str(witness),
+        )
 
     # ------------------------------------------------------------------
     # Callbacks

@@ -44,6 +44,8 @@ class Tracer:
 
     def emit(self, category: str, event: str, **fields: Any) -> None:
         """Record an event in ``category`` with arbitrary keyword fields."""
+        if not self._keep and not self._listeners:
+            return  # nobody is watching: skip record construction entirely
         record = TraceRecord(self._clock(), category, event, fields)
         if self._keep:
             self.records.append(record)

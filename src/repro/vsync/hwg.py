@@ -162,6 +162,11 @@ class HwgEndpoint:
             members=(self.node,),
             parents=(self.current_view.view_id,),
         )
+        self.trace(
+            "seceded",
+            view=str(singleton.view_id),
+            parent=str(self.current_view.view_id),
+        )
         self._install(singleton, self.channel.floor_snapshot())
 
     def force_refresh(self) -> None:

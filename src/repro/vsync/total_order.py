@@ -153,6 +153,12 @@ class OrderedChannel:
         """Receive an ordered message; deliver contiguously, NACK gaps."""
         if self.view is None or msg.view_id != self.view.view_id:
             return
+        if self.frozen:
+            # Mid-flush: we already reported our delivery state, so any
+            # delivery now would diverge from the branch-wide cut.  The
+            # fill supplies everything at or below the cut; anything
+            # above it is re-published by its sender in the next view.
+            return
         if msg.seq <= self.delivered_upto or msg.seq in self.log:
             return
         self.log[msg.seq] = msg
@@ -174,6 +180,16 @@ class OrderedChannel:
         if msg.sender == self.host.node:
             self.pending.pop(msg.sender_seq, None)
         self.delivered_count += 1
+        self.host.env.tracer.emit(
+            "hwg",
+            "data_delivered",
+            node=self.host.node,
+            group=self.host.group,
+            view=str(msg.view_id),
+            seq=msg.seq,
+            sender=msg.sender,
+            sender_seq=msg.sender_seq,
+        )
         self.host.deliver_data(msg.sender, msg.payload, msg.payload_size)
 
     def log_gap_exists(self) -> bool:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ..checkers import CheckerSuite
 from ..core.baselines import (
     NoLwgService,
     make_dynamic_service,
@@ -45,6 +46,7 @@ class Cluster:
         shared_medium: bool = True,
         keep_trace: bool = True,
         process_prefix: str = "p",
+        checkers: bool = True,
     ):
         if flavour not in ("dynamic", "static", "isolated", "none"):
             raise ValueError(f"unknown service flavour {flavour!r}")
@@ -52,6 +54,12 @@ class Cluster:
         self.env = SimEnv.create(
             seed=seed, link=link, shared_medium=shared_medium, keep_trace=keep_trace
         )
+        # Online invariant monitors (sanitizer-style): on by default so
+        # every scenario doubles as a correctness test.  Pass
+        # ``checkers=False`` for timing-sensitive perf runs.
+        self.checkers: Optional[CheckerSuite] = None
+        if checkers:
+            self.checkers = CheckerSuite.standard().attach(self.env.tracer)
         self.addressing = GroupAddressing()
         self.lwg_config = lwg_config or LwgConfig()
         self.vsync_config = vsync_config or VsyncConfig()
@@ -118,6 +126,20 @@ class Cluster:
                 return True
             self.env.sim.run_until(min(deadline, self.env.sim.now + step_us))
         return predicate()
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Run the at-quiesce invariant checks (no-op if checkers are off).
+
+        Call after a scenario has settled (views converged, naming
+        traffic drained): raises
+        :class:`~repro.checkers.InvariantViolation` on the first
+        quiescent-state property that does not hold.
+        """
+        if self.checkers is not None:
+            self.checkers.check_quiescent(self)
 
     # ------------------------------------------------------------------
     # Fault/partition injection conveniences

@@ -1,0 +1,85 @@
+"""Checker self-tests: a deliberately broken stack must trip a monitor.
+
+These are the "does the smoke detector actually detect smoke" tests —
+each one sabotages a real protocol component inside a live cluster and
+asserts the corresponding invariant checker raises.
+"""
+
+import pytest
+
+from repro.checkers import InvariantViolation
+from repro.core.ids import lwg_id
+from repro.workloads import Cluster
+
+
+def converged_cluster():
+    cluster = Cluster(num_processes=3, seed=7)
+    handles = [cluster.service(i).join("room") for i in range(3)]
+    cluster.run_for_seconds(10)
+    assert all(handle.is_member for handle in handles)
+    assert len({str(handle.view.view_id) for handle in handles}) == 1
+    return cluster, handles
+
+
+def hwg_channel(cluster, node, lwg):
+    """The live ordered channel under ``lwg`` at ``node``."""
+    local = cluster.service(node).table.local(lwg)
+    assert local is not None and local.hwg is not None
+    return cluster.stack(node).endpoints[local.hwg].channel
+
+
+def test_silently_dropped_delivery_trips_the_delivery_checker():
+    cluster, handles = converged_cluster()
+    channel = hwg_channel(cluster, "p1", lwg_id("room"))
+    original = channel._deliver
+    dropped = []
+
+    def lossy(msg):
+        if not dropped:
+            dropped.append(msg.seq)
+            return  # swallow exactly one delivery, advancing nothing
+        original(msg)
+
+    channel._deliver = lossy
+    handles[0].send("one")
+    handles[0].send("two")
+    with pytest.raises(InvariantViolation, match="contiguous total order"):
+        cluster.run_for_seconds(5)
+    assert dropped, "sabotage never engaged"
+
+
+def test_skipped_flush_trips_the_transition_checker():
+    cluster, handles = converged_cluster()
+    channel = hwg_channel(cluster, "p1", lwg_id("room"))
+    # p1 goes deaf to ordered data and then fakes its way through the
+    # flush: it claims the cut was applied without delivering anything.
+    channel.on_ordered = lambda msg: None
+
+    def lying_fill(cut, missing):
+        channel.delivered_upto = max(channel.delivered_upto, cut)
+
+    channel.apply_fill = lying_fill
+    handles[0].send("one")
+    handles[0].send("two")
+    cluster.run_for_seconds(3)  # p0/p2 deliver; p1 silently does not
+    cluster.crash("p2")         # force a view change and its flush
+    with pytest.raises(InvariantViolation, match="same view, same messages"):
+        cluster.run_for_seconds(60)
+
+
+def test_healthy_cluster_reports_no_violations():
+    cluster, handles = converged_cluster()
+    handles[0].send("one")
+    handles[1].send("two")
+    cluster.run_for_seconds(5)
+    cluster.check_invariants()
+    assert cluster.checkers is not None
+    assert cluster.checkers.violations == []
+
+
+def test_checkers_can_be_disabled_for_perf_runs():
+    cluster = Cluster(num_processes=2, seed=7, checkers=False)
+    assert cluster.checkers is None
+    cluster.service(0).join("room")
+    cluster.run_for_seconds(3)
+    cluster.check_invariants()  # no-op, must not raise

@@ -336,3 +336,42 @@ def test_retry_timer_noop_after_flush():
     delay, retry = service.stack.timers[0]
     retry()
     assert len(service.sent) == before  # round completed: no re-trigger
+
+
+def test_retry_timer_armed_with_round_retry_delay():
+    service = FakeService()
+    manager = MergeManager(service)
+    manager.trigger("hwg:x", "lwg:a")
+    delay, _ = service.stack.timers[0]
+    assert delay == MergeManager.ROUND_RETRY_US
+
+
+def test_stale_retry_token_cannot_reset_a_newer_round():
+    """A retry armed for round N fires after the flush completed N and a
+    new round N+1 opened: the stale token must leave N+1 untouched."""
+    service = FakeService()
+    manager = MergeManager(service)
+    manager.trigger("hwg:x", "lwg:a")
+    _, stale_retry = service.stack.timers[0]
+    manager.on_hwg_view("hwg:x", view_of("hwg:x", "p0", 9, "p0"))  # N flushes
+    manager.trigger("hwg:x", "lwg:b")  # round N+1
+    merges = lambda: len([m for _, m in service.sent if isinstance(m, MergeViewsMsg)])
+    before = merges()
+    stale_retry()
+    assert merges() == before  # no duplicate MERGE-VIEWS
+    assert manager.round_active("hwg:x")  # N+1 still running, not reset
+    assert manager.merge_rounds == 2
+
+
+def test_merge_rounds_counts_rounds_not_suppressed_triggers():
+    service = FakeService()
+    manager = MergeManager(service)
+    manager.trigger("hwg:x", "lwg:a")
+    manager.trigger("hwg:x", "lwg:b")  # suppressed: round already open
+    assert manager.merge_rounds == 1
+    _, retry = service.stack.timers[0]
+    retry()  # a wedged-round retry is a fresh round
+    assert manager.merge_rounds == 2
+    manager.on_hwg_view("hwg:x", view_of("hwg:x", "p0", 9, "p0"))
+    manager.trigger("hwg:y", "lwg:a")  # independent HWG
+    assert manager.merge_rounds == 3

@@ -20,12 +20,26 @@ def build(seed):
     return cluster, driver
 
 
+def assert_invariants_clean(cluster):
+    """Settle the naming anti-entropy tail, then run the quiescent checks.
+
+    The online checkers ran for the whole soak (they are on by default
+    and raise at the guilty event); this adds the at-quiesce properties
+    and the zero-violations acceptance gate.
+    """
+    cluster.run_for_seconds(5)
+    cluster.check_invariants()
+    assert cluster.checkers is not None
+    assert cluster.checkers.violations == []
+
+
 @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
 def test_random_churn_quiesces(seed):
     cluster, driver = build(seed)
     driver.run(steps=15)
     ok, detail = driver.wait_for_quiesce(timeout_seconds=120)
     assert ok, f"seed={seed}: {detail}\nschedule={driver.log}"
+    assert_invariants_clean(cluster)
 
 
 def test_heavy_partition_churn_quiesces():
@@ -42,3 +56,4 @@ def test_heavy_partition_churn_quiesces():
     driver.run(steps=20)
     ok, detail = driver.wait_for_quiesce(timeout_seconds=150)
     assert ok, f"{detail}\nschedule={driver.log}"
+    assert_invariants_clean(cluster)

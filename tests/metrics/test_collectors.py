@@ -23,6 +23,43 @@ def test_latency_summary():
     assert summary.max_us == 400
 
 
+def test_quantiles_single_sample():
+    stats = SummaryStats.of([42.0])
+    assert stats.p50_us == 42.0
+    assert stats.p95_us == 42.0
+    assert stats.max_us == 42.0
+
+
+def test_quantiles_two_samples():
+    stats = SummaryStats.of([20.0, 10.0])
+    # Nearest-rank: ceil(0.5 * 2) = rank 1 -> the lower value, and
+    # ceil(0.95 * 2) = rank 2 -> the upper one (the old floor-index
+    # formula returned the max for p50 here).
+    assert stats.p50_us == 10.0
+    assert stats.p95_us == 20.0
+
+
+def test_quantiles_nineteen_samples():
+    stats = SummaryStats.of(list(range(1, 20)))
+    assert stats.p50_us == 10  # ceil(9.5) = rank 10
+    assert stats.p95_us == 19  # ceil(18.05) = rank 19
+
+
+def test_quantiles_twenty_samples():
+    stats = SummaryStats.of(list(range(1, 21)))
+    assert stats.p50_us == 10
+    # ceil(19.0) = rank 19; the old int(0.95 * 20) indexed past it and
+    # reported the max (20) as p95.
+    assert stats.p95_us == 19
+
+
+def test_quantiles_hundred_samples():
+    stats = SummaryStats.of(list(range(1, 101)))
+    assert stats.p50_us == 50
+    assert stats.p95_us == 95
+    assert stats.max_us == 100
+
+
 def test_summary_of_empty_is_none():
     assert SummaryStats.of([]) is None
     assert LatencyCollector().summary() is None
