@@ -101,8 +101,7 @@ class DeliveryChecker(Checker):
         elif record.event == "view_installed":
             self._on_view(record)
         elif record.event == "left":
-            fields = record.fields
-            self._current.pop((fields["group"], fields["node"]), None)
+            self._on_left(record.fields["group"], record.fields["node"])
 
     def _on_crash(self, node: str) -> None:
         # Fail-stop wipes the process: its channels, views and send
@@ -112,6 +111,18 @@ class DeliveryChecker(Checker):
         for key in [k for k in self._current if k[1] == node]:
             del self._current[key]
         for key in [k for k in self._fifo if k[1] == node or k[2] == node]:
+            del self._fifo[key]
+
+    def _on_left(self, group: str, node: str) -> None:
+        # Leaving a group ends the node's channel incarnation for that
+        # group: a rejoin restarts its sender_seq numbering from 1 and
+        # starts delivering from a fresh channel, so per-sender memory
+        # involving the leaver must not span the leave.
+        self._current.pop((group, node), None)
+        for key in [
+            k for k in self._fifo
+            if k[0] == group and (k[1] == node or k[2] == node)
+        ]:
             del self._fifo[key]
 
     def _on_delivery(self, record: TraceRecord) -> None:

@@ -1,0 +1,164 @@
+"""``python -m repro fuzz`` — the fuzz campaign driver.
+
+Two modes:
+
+* **generate** (default): derive ``--iters`` schedules from ``--seed``
+  under ``--profile``, replay each on a checker-enabled cluster, print
+  one deterministic line per iteration (classification + trace digest),
+  shrink any failure and write repro artifacts to ``--out``;
+* **replay** (``--replay PATH ...``): replay frozen schedule JSON files
+  (or every ``*.json`` in a directory — e.g. the regression corpus) and
+  report each outcome.
+
+The process exit code is 0 iff every iteration/replay came back clean,
+so the command slots directly into CI.  All output is derived from the
+seeds — two runs with the same arguments print identical bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .artifacts import write_artifact
+from .generator import PROFILES, GeneratorConfig, ScheduleGenerator
+from .runner import CLEAN, VIOLATION, run_schedule
+from .schedule import Schedule
+from .shrink import reproducer_for, shrink
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="randomized fault-schedule fuzzing of the LWG stack",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    parser.add_argument("--iters", type=int, default=20, help="schedules to run")
+    parser.add_argument(
+        "--profile", choices=PROFILES, default="mixed", help="step-mix profile"
+    )
+    parser.add_argument(
+        "--processes", type=int, default=6, help="cluster size per schedule"
+    )
+    parser.add_argument("--groups", type=int, default=3, help="LWGs per schedule")
+    parser.add_argument(
+        "--max-steps", type=int, default=16, help="max schedule length"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("fuzz-artifacts"),
+        help="directory for failure artifacts (JSON + pytest reproducer)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="emit failing schedules unshrunk",
+    )
+    parser.add_argument(
+        "--shrink-attempts",
+        type=int,
+        default=120,
+        help="replay budget for the shrinker, per failure",
+    )
+    parser.add_argument(
+        "--replay",
+        nargs="+",
+        type=Path,
+        metavar="PATH",
+        help="replay schedule JSON files / directories instead of generating",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="print full schedules"
+    )
+    return parser
+
+
+def _collect_replay_paths(paths: List[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def _replay(paths: List[Path], verbose: bool) -> int:
+    files = _collect_replay_paths(paths)
+    if not files:
+        print("fuzz: no schedule files to replay")
+        return 1
+    failures = 0
+    for path in files:
+        schedule = Schedule.from_json(path.read_text(encoding="utf-8"))
+        if verbose:
+            print(schedule.describe())
+        outcome = run_schedule(schedule)
+        print(f"[replay] {path.name}: {outcome.summary()}")
+        if not outcome.is_clean:
+            failures += 1
+    print(
+        f"fuzz replay: {len(files)} schedule(s), "
+        f"{len(files) - failures} clean, {failures} failing"
+    )
+    return 0 if failures == 0 else 1
+
+
+def _handle_failure(
+    schedule: Schedule,
+    outcome,
+    args: argparse.Namespace,
+) -> None:
+    """Shrink (unless disabled) and write artifacts for one failure."""
+    final_schedule, final_outcome = schedule, outcome
+    if outcome.classification == VIOLATION and not args.no_shrink:
+        predicate = reproducer_for(outcome.invariant, run_schedule)
+        result = shrink(schedule, predicate, max_attempts=args.shrink_attempts)
+        final_schedule = result.schedule
+        final_outcome = run_schedule(final_schedule)
+        print(
+            f"  shrunk {result.original_steps} -> {result.final_steps} steps "
+            f"in {result.attempts} replays"
+            + (" (budget exhausted)" if result.exhausted else "")
+        )
+    json_path, test_path = write_artifact(final_schedule, final_outcome, args.out)
+    print(f"  artifact: {json_path}")
+    print(f"  reproducer: {test_path}")
+    for line in final_schedule.describe().splitlines():
+        print(f"  | {line}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay:
+        return _replay(args.replay, args.verbose)
+
+    config = GeneratorConfig(
+        num_processes=args.processes,
+        num_groups=args.groups,
+        max_steps=args.max_steps,
+    )
+    generator = ScheduleGenerator(args.seed, profile=args.profile, config=config)
+    counts = {CLEAN: 0, VIOLATION: 0, "non-convergence": 0}
+    for index in range(args.iters):
+        schedule = generator.generate(index)
+        if args.verbose:
+            print(schedule.describe())
+        outcome = run_schedule(schedule)
+        counts[outcome.classification] = counts.get(outcome.classification, 0) + 1
+        print(
+            f"[iter {index:03d}] {schedule.label} steps={len(schedule.steps)} "
+            f"{outcome.summary()}"
+        )
+        if not outcome.is_clean:
+            _handle_failure(schedule, outcome, args)
+    total = args.iters
+    print(
+        f"fuzz: {total} iteration(s) — {counts[CLEAN]} clean, "
+        f"{counts[VIOLATION]} violation(s), "
+        f"{counts['non-convergence']} non-convergence "
+        f"(seed={args.seed}, profile={args.profile})"
+    )
+    return 0 if counts[CLEAN] == total else 1

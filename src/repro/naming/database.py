@@ -117,7 +117,10 @@ class NamingDatabase:
         through local peer discovery without naming-service involvement.
         """
         out: Dict[LwgId, List[MappingRecord]] = {}
-        for lwg in self.lwgs():
+        # Sorted so the notifier contacts conflicting LWGs in a fixed
+        # order — set iteration would leak the interpreter's hash seed
+        # into the shared latency-jitter draw order and break replay.
+        for lwg in sorted(self.lwgs()):
             records = self.live_records(lwg)
             if len({r.hwg for r in records}) > 1:
                 out[lwg] = records

@@ -59,6 +59,14 @@ class FailureInjector:
         self._apply(node, crash=False)
 
     def _apply(self, node: NodeId, crash: bool) -> None:
-        self.network.set_alive(node, not crash)
+        want_alive = not crash
+        if self.network.has_node(node) and self.network.is_alive(node) == want_alive:
+            # Already in the requested state: crashing a crashed node or
+            # recovering a live one is a no-op, and in particular the
+            # transition hooks must not fire a second time (they wipe
+            # and rebuild protocol state).  Unknown nodes still raise,
+            # via set_alive below.
+            return
+        self.network.set_alive(node, want_alive)
         for hook in self._hooks.get(node, []):
             hook(crash)

@@ -118,6 +118,10 @@ class Network:
         """True if the node is attached and not crashed."""
         return self._alive.get(node, False)
 
+    def has_node(self, node: NodeId) -> bool:
+        """True if ``node`` is attached (alive or crashed)."""
+        return node in self._callbacks
+
     def set_alive(self, node: NodeId, alive: bool) -> None:
         """Crash (``False``) or recover (``True``) a node."""
         if node not in self._callbacks:
@@ -238,7 +242,11 @@ class Network:
             return 0
         _, wire_done = self._transmission_start(src, size)
         scheduled = 0
-        for dst in dsts:
+        # Iterate destinations in sorted order: callers often pass sets,
+        # and the per-receiver jitter draws below must not depend on a
+        # hash-randomized iteration order or runs stop being replayable
+        # across interpreter processes.
+        for dst in sorted(dsts):
             if dst == src:
                 # Loopback delivery skips the network but keeps rx cost.
                 done = self._delivery_time(dst, self.sim.now)

@@ -239,7 +239,7 @@ class HwgEndpoint:
         self.vcm.reset()
         self.participant.reset()
         self.channel = OrderedChannel(self)
-        for peer in self._monitored:
+        for peer in sorted(self._monitored):
             self.fd.unmonitor(peer)
         self._monitored.clear()
         self.trace("left", view=str(old_view.view_id) if old_view else None)
@@ -364,9 +364,12 @@ class HwgEndpoint:
 
     def _update_monitoring(self, view: View) -> None:
         wanted = set(view.members) - {self.node}
-        for peer in wanted - self._monitored:
+        # Sorted iteration: monitor() order fixes the detector's internal
+        # peer order and thus its suspicion-notification order, which
+        # must not depend on hash-randomized set iteration.
+        for peer in sorted(wanted - self._monitored):
             self.fd.monitor(peer)
-        for peer in self._monitored - wanted:
+        for peer in sorted(self._monitored - wanted):
             self.fd.unmonitor(peer)
         self._monitored = wanted
 

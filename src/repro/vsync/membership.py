@@ -438,6 +438,12 @@ class ViewChangeManager:
         # State transfer: joiners (no flush context) receive a snapshot
         # captured now — after our branch flushed, at the delivery cut.
         joiners = {m for m in new_view.members if via.get(m) is None}
+        # A joiner starts a fresh channel incarnation (sender_seq restarts
+        # from 1).  A floor remembered from a previous incarnation of the
+        # same node — it left or seceded, then rejoined — would make the
+        # sequencer silently swallow its first messages.
+        for joiner in joiners:
+            merged_dedup.pop(joiner, None)
         app_state = self.ep.capture_state() if joiners else None
         local_install: Optional[InstallView] = None
         for recipient in sorted(recipients):

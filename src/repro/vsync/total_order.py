@@ -68,9 +68,13 @@ class OrderedChannel:
         self.frozen = False
         self.stable_upto = -1
         self._member_delivered.clear()
-        for sender, floor in dedup_floor.items():
-            if floor > self.dedup_floor.get(sender, -1):
-                self.dedup_floor[sender] = floor
+        # The carried floors are authoritative: the flush equalised every
+        # continuing member to the branch cut (so a local floor can never
+        # legitimately exceed the carried one), and a sender *missing*
+        # from the carried map is a fresh incarnation — a member that
+        # left/seceded and rejoined — whose restarted sender_seq numbering
+        # a stale local floor would silently swallow.
+        self.dedup_floor = dict(dedup_floor)
         my_floor = self.dedup_floor.get(self.host.node, -1)
         for sender_seq in [s for s in self.pending if s <= my_floor]:
             del self.pending[sender_seq]

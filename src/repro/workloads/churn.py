@@ -166,7 +166,7 @@ class ChurnDriver:
             if not members:
                 continue
             views = []
-            for node in members:
+            for node in sorted(members):
                 local = self.cluster.services[node].table.local(f"lwg:{group}")
                 if local is None or not local.is_member or local.view is None:
                     return False, f"{group}: {node} not a member"

@@ -1,0 +1,48 @@
+"""The ``python -m repro fuzz`` command-line driver."""
+
+from pathlib import Path
+
+from repro.fuzz.cli import main
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def test_small_campaign_exits_zero_and_reports(capsys):
+    code = main(["--seed", "3", "--iters", "2", "--profile", "mixed",
+                 "--no-shrink"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[iter 000] fuzz-3-mixed-0000" in out
+    assert "[iter 001] fuzz-3-mixed-0001" in out
+    assert "2 clean, 0 violation(s), 0 non-convergence" in out
+
+
+def test_campaign_output_is_deterministic(capsys):
+    main(["--seed", "3", "--iters", "1", "--no-shrink"])
+    first = capsys.readouterr().out
+    main(["--seed", "3", "--iters", "1", "--no-shrink"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_replay_directory_runs_the_corpus(capsys):
+    code = main(["--replay", str(CORPUS_DIR)])
+    out = capsys.readouterr().out
+    assert code == 0
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        assert f"[replay] {path.name}" in out
+    assert "0 failing" in out
+
+
+def test_replay_single_file(capsys):
+    path = sorted(CORPUS_DIR.glob("*.json"))[0]
+    code = main(["--replay", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 schedule(s), 1 clean, 0 failing" in out
+
+
+def test_replay_with_nothing_to_do_fails(tmp_path, capsys):
+    code = main(["--replay", str(tmp_path)])  # empty directory
+    assert code == 1
+    assert "no schedule files" in capsys.readouterr().out

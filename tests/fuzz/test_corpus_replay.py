@@ -1,0 +1,34 @@
+"""Regression corpus: every frozen schedule must replay clean.
+
+Each JSON file under ``tests/fuzz/corpus/`` is a complete schedule that
+once exposed a bug (or covers a scenario class worth pinning).  Replays
+are bit-for-bit deterministic, so any classification change here means
+a behavioural change in the stack — investigate before re-freezing.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import Schedule, run_schedule
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no schedules in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_schedule_replays_clean(path):
+    schedule = Schedule.from_json(path.read_text(encoding="utf-8"))
+    outcome = run_schedule(schedule)
+    assert outcome.is_clean, f"{path.name}: {outcome.summary()} {outcome.detail}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_file_is_canonical(path):
+    # Frozen files stay in canonical form so diffs are meaningful.
+    text = path.read_text(encoding="utf-8")
+    assert Schedule.from_json(text).to_json() == text

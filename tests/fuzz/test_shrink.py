@@ -1,0 +1,93 @@
+"""Shrinker unit tests against synthetic (cheap) reproduction predicates."""
+
+from repro.fuzz import Schedule, Step, shrink
+from repro.fuzz.shrink import _MIN_DELAY_US
+
+
+def schedule_with(steps):
+    return Schedule(seed=1, steps=list(steps), label="shrink-unit")
+
+
+def kinds(schedule):
+    return [step.kind for step in schedule.steps]
+
+
+def test_removes_irrelevant_steps():
+    steps = (
+        [Step(kind="settle") for _ in range(6)]
+        + [Step(kind="crash", node="p0")]
+        + [Step(kind="settle") for _ in range(6)]
+    )
+
+    def needs_crash(candidate):
+        return any(step.kind == "crash" for step in candidate.steps)
+
+    result = shrink(schedule_with(steps), needs_crash)
+    assert kinds(result.schedule) == ["crash"]
+    assert result.original_steps == 13
+    assert not result.exhausted
+
+
+def test_preserves_a_required_pair():
+    steps = [
+        Step(kind="settle"),
+        Step(kind="partition", blocks=(("p0",), ("p1", "ns0"))),
+        Step(kind="settle"),
+        Step(kind="heal"),
+        Step(kind="settle"),
+    ]
+
+    def needs_split_then_heal(candidate):
+        ks = kinds(candidate)
+        return (
+            "partition" in ks and "heal" in ks
+            and ks.index("partition") < ks.index("heal")
+        )
+
+    result = shrink(schedule_with(steps), needs_split_then_heal)
+    assert kinds(result.schedule) == ["partition", "heal"]
+
+
+def test_simplifies_surviving_steps():
+    steps = [
+        Step(kind="burst", node="p0", group="s0", count=6, delay_us=2_000_000),
+        Step(
+            kind="partition",
+            blocks=(("p0",), ("p1",), ("p2", "ns0")),
+            delay_us=2_000_000,
+        ),
+    ]
+
+    def always(candidate):
+        return len(candidate.steps) == 2
+
+    result = shrink(schedule_with(steps), always)
+    burst, partition = result.schedule.steps
+    assert burst.count == 1
+    assert burst.delay_us == _MIN_DELAY_US
+    assert len(partition.blocks) == 2  # 3-way collapsed to 2-way
+    assert partition.delay_us == _MIN_DELAY_US
+
+
+def test_attempt_budget_is_respected():
+    steps = [Step(kind="settle") for _ in range(20)]
+
+    calls = []
+
+    def irreducible(candidate):
+        calls.append(1)
+        # Only the full schedule reproduces: every deletion fails, the
+        # worst case for ddmin, so the budget must cut the search off.
+        return len(candidate.steps) == 20
+
+    result = shrink(schedule_with(steps), irreducible, max_attempts=5)
+    assert result.attempts == 5
+    assert len(calls) == 5
+    assert result.exhausted
+    assert len(result.schedule.steps) == 20
+
+
+def test_result_never_grows():
+    steps = [Step(kind="settle") for _ in range(8)]
+    result = shrink(schedule_with(steps), lambda c: True)
+    assert len(result.schedule.steps) == 0
