@@ -1,0 +1,90 @@
+"""Event-loop overhead of the discrete-event engine itself.
+
+Not a paper figure — this pins down the per-event cost of the engine's
+two hot paths after the O(1) ``pending_events`` counter and the
+single-pop ``run_until`` rewrite:
+
+* ``run_until`` used to ``_peek`` the head and then re-pop it through
+  ``step`` — two heap operations per event;
+* ``pending_events`` used to scan the whole heap, so any driver loop
+  that polls for quiescence (the fuzz runner, ``Cluster.run_until``)
+  went quadratic in the number of outstanding timers.
+
+Run with::
+
+    pytest benchmarks/bench_engine.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.sim import MS, Simulation
+
+N_EVENTS = 20_000
+N_STANDING_TIMERS = 5_000
+
+
+def _schedule_chain(sim: Simulation, remaining: list) -> None:
+    """Each event schedules its successor: a pure event-loop workload."""
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.schedule(MS, tick)
+
+    sim.schedule(MS, tick)
+
+
+def test_event_throughput(benchmark):
+    """Per-event cost of draining a long chain through ``run_until``."""
+
+    def run():
+        sim = Simulation()
+        remaining = [N_EVENTS]
+        _schedule_chain(sim, remaining)
+        sim.run_until(N_EVENTS * 2 * MS)
+        assert remaining[0] == 0
+        return sim
+
+    sim = benchmark(run)
+    print(f"\nevents run: {N_EVENTS}, final t={sim.now // MS}ms")
+
+
+def test_quiescence_polling_with_standing_timers(benchmark):
+    """A driver loop polling ``pending_events`` between small run slices.
+
+    With ``N_STANDING_TIMERS`` long-dated timers outstanding (the shape a
+    big cluster produces: every process holds retransmit/periodic
+    timers), the old O(n) scan made each poll cost ~n and the whole loop
+    O(polls * n); the live counter makes each poll O(1).
+    """
+
+    def run():
+        sim = Simulation()
+        for i in range(N_STANDING_TIMERS):
+            sim.schedule(10_000 * MS + i, lambda: None)
+        remaining = [2_000]
+        _schedule_chain(sim, remaining)
+        polls = 0
+        while sim.pending_events > N_STANDING_TIMERS:
+            sim.run_until(sim.now + 5 * MS)
+            polls += 1
+        return polls
+
+    polls = benchmark(run)
+    print(f"\npolls: {polls}, standing timers: {N_STANDING_TIMERS}")
+
+
+def test_cancellation_churn(benchmark):
+    """Schedule-then-cancel churn: the counter must stay exact and cheap."""
+
+    def run():
+        sim = Simulation()
+        handles = [sim.schedule(MS + i, lambda: None) for i in range(10_000)]
+        for handle in handles[::2]:
+            handle.cancel()
+        live = sim.pending_events
+        sim.run_until(2 * MS + 10_000)
+        assert live == 5_000 and sim.pending_events == 0
+        return live
+
+    benchmark(run)

@@ -5,6 +5,8 @@ Usage::
     python -m repro                 # list examples
     python -m repro quickstart      # run one
     python -m repro fuzz --seed 7 --iters 50 --profile mixed
+    python -m repro run --backend sim       # partition/heal demo, simulated
+    python -m repro run --backend asyncio   # same demo over live UDP processes
 """
 
 from __future__ import annotations
@@ -56,6 +58,7 @@ def find_examples_dir(
 def _usage() -> None:
     print("usage: python -m repro <example>")
     print("       python -m repro fuzz [--seed N --iters K --profile P ...]")
+    print("       python -m repro run [--backend sim|asyncio ...]")
     print("\navailable examples:")
     for name, blurb in EXAMPLES.items():
         print(f"  {name:18s} {blurb}")
@@ -66,6 +69,10 @@ def main(argv) -> int:
         from .fuzz.cli import main as fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "run":
+        from .runtime.demo import main as demo_main
+
+        return demo_main(argv[1:])
     if len(argv) != 1 or argv[0] not in EXAMPLES:
         _usage()
         return 0 if not argv else 1

@@ -132,7 +132,7 @@ class LwgConvergenceChecker(Checker):
     name = "lwg-convergence"
 
     def at_quiesce(self, cluster) -> None:
-        network = cluster.env.network
+        network = cluster.env.fabric
         claims: Dict[str, List[Tuple[str, object, object]]] = {}
         for node, service in cluster.services.items():
             table = getattr(service, "table", None)

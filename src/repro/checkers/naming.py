@@ -77,7 +77,7 @@ class NamingConvergenceChecker(Checker):
     name = "naming-convergence"
 
     def at_quiesce(self, cluster) -> None:
-        network = cluster.env.network
+        network = cluster.env.fabric
         servers = [
             server
             for node, server in sorted(cluster.name_servers.items())

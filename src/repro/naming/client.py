@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..sim.network import NodeId
+from ..runtime.interfaces import NodeId
 from ..vsync.view import ViewId
 from .messages import MultipleMappings, NamingMessage, NsRequest, NsResponse
 from .records import HwgId, LwgId, MappingRecord

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..sim.network import NodeId
-from ..sim.process import Process, SimEnv
+from ..runtime.interfaces import NodeId, Runtime
+from ..sim.process import Process
 from .callbacks import ConflictNotifier
 from .database import NamingDatabase
 from .messages import (
@@ -40,7 +40,7 @@ class NameServer(Process):
 
     def __init__(
         self,
-        env: SimEnv,
+        env: Runtime,
         node: NodeId,
         peers: Sequence[NodeId] = (),
         gossip_period_us: int = 500_000,

@@ -1,0 +1,153 @@
+"""Structured event tracing, shared by every runtime backend.
+
+Protocol layers emit ``(time, category, event, fields)`` records through a
+shared :class:`Tracer`.  Tests and benchmarks subscribe to categories to
+observe protocol behaviour (view installations, flushes, naming-service
+reconciliations) without reaching into private state.
+
+Traces round-trip through JSON Lines (:meth:`Tracer.to_jsonl` /
+:meth:`Tracer.from_jsonl`) so runs on the real-time asyncio backend can
+be captured per OS process, merged, and diffed or checker-replayed
+against simulator runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: int
+    category: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:>12}us] {self.category}.{self.event} {detail}".rstrip()
+
+
+TraceListener = Callable[[TraceRecord], None]
+
+
+class Tracer:
+    """Collects trace records and fans them out to listeners.
+
+    Recording to the in-memory list can be disabled for long benchmark
+    runs (listeners still fire) via ``keep_records=False``.
+    """
+
+    def __init__(self, clock: Callable[[], int], keep_records: bool = True):
+        self._clock = clock
+        self._keep = keep_records
+        self.records: List[TraceRecord] = []
+        self._listeners: List[TraceListener] = []
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:
+        """Record an event in ``category`` with arbitrary keyword fields."""
+        if not self._keep and not self._listeners:
+            return  # nobody is watching: skip record construction entirely
+        record = TraceRecord(self._clock(), category, event, fields)
+        if self._keep:
+            self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def subscribe(self, listener: TraceListener) -> None:
+        """Register a callback invoked for every emitted record."""
+        self._listeners.append(listener)
+
+    def select(
+        self, category: Optional[str] = None, event: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Return recorded events filtered by category and/or event name."""
+        out: List[TraceRecord] = []
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if event is not None and record.event != event:
+                continue
+            out.append(record)
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded events (listeners are kept)."""
+        self.records.clear()
+
+    def to_jsonl(self, path: Union[str, "os.PathLike[str]"]) -> int:
+        """Write every kept record to ``path`` as JSON Lines; returns count.
+
+        Fields that are not JSON-native (e.g. view-id objects) are
+        stringified — emitters already stringify them for trace
+        stability, so in practice records survive the round trip intact.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(
+                    json.dumps(
+                        {
+                            "time": record.time,
+                            "category": record.category,
+                            "event": record.event,
+                            "fields": record.fields,
+                        },
+                        sort_keys=True,
+                        default=str,
+                    )
+                )
+                fh.write("\n")
+        return len(self.records)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, "os.PathLike[str]"]) -> "Tracer":
+        """Load a trace written by :meth:`to_jsonl` into a fresh tracer.
+
+        The returned tracer is a passive record holder (its clock is
+        frozen at the last loaded timestamp); use it for selection,
+        dumping, merging, or replaying through a checker suite.
+        """
+        records: List[TraceRecord] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                records.append(
+                    TraceRecord(
+                        time=int(obj["time"]),
+                        category=obj["category"],
+                        event=obj["event"],
+                        fields=dict(obj["fields"]),
+                    )
+                )
+        last = records[-1].time if records else 0
+        tracer = cls(clock=lambda: last, keep_records=True)
+        tracer.records = records
+        return tracer
+
+    def dump(self, categories: Optional[Iterable[str]] = None) -> str:
+        """Human-readable dump of the trace, optionally restricted by category."""
+        wanted = set(categories) if categories is not None else None
+        lines = [
+            str(record)
+            for record in self.records
+            if wanted is None or record.category in wanted
+        ]
+        return "\n".join(lines)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything — for hot benchmark loops."""
+
+    def __init__(self) -> None:
+        super().__init__(clock=lambda: 0, keep_records=False)
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:  # noqa: D102
+        pass

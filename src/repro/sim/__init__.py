@@ -1,21 +1,28 @@
-"""Discrete-event simulation substrate.
+"""Discrete-event simulation backend.
 
 This package stands in for the paper's physical testbed (Sparc10
 workstations on a loaded 10 Mbps Ethernet): a deterministic event loop,
 a partitionable broadcast network with latency/bandwidth/receive-cost
 modelling, crash injection and scripted partition schedules.
+
+It is one implementation of the backend-agnostic runtime interfaces in
+:mod:`repro.runtime` — :class:`Simulation` is the clock and scheduler,
+:class:`Network` the fabric, and :class:`SimRuntime` the bundle handed
+to protocol code.  The real-time counterpart is
+:mod:`repro.runtime.asyncio_backend`.
 """
 
 from .engine import MS, SECOND, EventHandle, Simulation, SimulationError
 from .failure import FailureEvent, FailureInjector
 from .network import LinkModel, Network, NodeId
 from .partition import PartitionEvent, PartitionSchedule
-from .process import Process, SimEnv
+from .process import Process, SimEnv, SimRuntime
 from .rng import RngRegistry
 from .trace import NullTracer, TraceRecord, Tracer
 from .transport import ReliableTransport
 
 __all__ = [
+    "SimRuntime",
     "MS",
     "SECOND",
     "EventHandle",

@@ -14,10 +14,11 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
-#: One millisecond expressed in the engine's integer-microsecond time base.
-MS = 1_000
-#: One second expressed in the engine's integer-microsecond time base.
-SECOND = 1_000_000
+# Canonical time-base constants live in the backend-agnostic runtime
+# layer; re-exported here because the time base predates that layer.
+from ..runtime.interfaces import MS, SECOND
+
+__all__ = ["MS", "SECOND", "EventHandle", "Simulation", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
@@ -31,17 +32,26 @@ class EventHandle:
     popped.  ``fired`` distinguishes "already executed" from "cancelled".
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[], None],
+        sim: "Optional[Simulation]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if not self.cancelled and not self.fired and self._sim is not None:
+            self._sim._live -= 1
         self.cancelled = True
         self.callback = None
 
@@ -73,6 +83,11 @@ class Simulation:
         self._seq = 0
         self._queue: List[EventHandle] = []
         self._running = False
+        # Count of scheduled, not-yet-cancelled, not-yet-fired events,
+        # maintained incrementally so ``pending_events`` is O(1) instead
+        # of an O(n) heap scan (it sits on the hot path of run loops that
+        # poll for quiescence).
+        self._live = 0
 
     @property
     def now(self) -> int:
@@ -91,8 +106,9 @@ class Simulation:
             raise SimulationError(
                 f"cannot schedule at t={time}us, now is t={self._now}us"
             )
-        handle = EventHandle(int(time), self._seq, callback)
+        handle = EventHandle(int(time), self._seq, callback, self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -103,6 +119,14 @@ class Simulation:
                 return handle
         return None
 
+    def _fire(self, handle: EventHandle) -> None:
+        self._now = handle.time
+        handle.fired = True
+        self._live -= 1
+        callback, handle.callback = handle.callback, None
+        assert callback is not None
+        callback()
+
     def step(self) -> bool:
         """Execute the single next pending event.
 
@@ -111,11 +135,7 @@ class Simulation:
         handle = self._pop_runnable()
         if handle is None:
             return False
-        self._now = handle.time
-        handle.fired = True
-        callback, handle.callback = handle.callback, None
-        assert callback is not None
-        callback()
+        self._fire(handle)
         return True
 
     def run_until(self, time: int) -> None:
@@ -126,7 +146,11 @@ class Simulation:
             head = self._peek()
             if head is None or head.time > time:
                 break
-            self.step()
+            # ``head`` is the queue front (``_peek`` discarded cancelled
+            # entries above it), so pop it directly instead of re-popping
+            # through ``step`` — one heap operation per event, not two.
+            heapq.heappop(self._queue)
+            self._fire(head)
         self._now = max(self._now, int(time))
 
     def run(self, max_events: int = 10_000_000) -> int:
@@ -148,8 +172,8 @@ class Simulation:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        """Number of scheduled, not-yet-cancelled events (O(1))."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Simulation(now={self._now}us, pending={self.pending_events})"

@@ -21,14 +21,14 @@ Delivery callbacks are registered per node via :meth:`Network.attach`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..runtime.interfaces import DeliveryCallback, NodeId
+from ..runtime.rng import RngRegistry
+from ..runtime.trace import Tracer
 from .engine import Simulation
-from .rng import RngRegistry
-from .trace import Tracer
 
-NodeId = str
-DeliveryCallback = Callable[[NodeId, Any, int], None]  # (src, payload, size)
+__all__ = ["DeliveryCallback", "LinkModel", "Network", "NodeId"]
 
 
 @dataclass
@@ -160,7 +160,7 @@ class Network:
 
     def partition_blocks(self) -> List[FrozenSet[NodeId]]:
         """Current partition blocks containing at least one node."""
-        by_block: Dict[int, set] = {}
+        by_block: Dict[int, Set[NodeId]] = {}
         for node, block in self._partition_of.items():
             by_block.setdefault(block, set()).add(node)
         return [frozenset(nodes) for _, nodes in sorted(by_block.items())]
@@ -263,7 +263,9 @@ class Network:
             scheduled += 1
         return scheduled
 
-    def _make_delivery(self, src: NodeId, dst: NodeId, payload: Any, size: int):
+    def _make_delivery(
+        self, src: NodeId, dst: NodeId, payload: Any, size: int
+    ) -> Callable[[], None]:
         return lambda: self._deliver(src, dst, payload, size)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,27 +1,35 @@
-"""Simulated processes (actors) and their environment bundle.
+"""The discrete-event runtime bundle and the backend-agnostic process.
 
-A :class:`Process` owns a node on the network, receives messages through
-``on_message``, and manages timers that are automatically cancelled when
-the process crashes.  Protocol layers (failure detector, HWG endpoint,
-LWG layer, name server) are all built as processes or as components
-hosted by one.
+:class:`SimRuntime` is the deterministic implementation of the
+:class:`~repro.runtime.interfaces.Runtime` protocol: the
+:class:`~repro.sim.engine.Simulation` serves as both clock and
+scheduler, the :class:`~repro.sim.network.Network` as the fabric, and
+the :class:`~repro.sim.failure.FailureInjector` as the failure feed.
+
+:class:`Process` is the base class for every protocol actor (failure
+detector host, HWG stack, name server).  It touches its environment
+*only* through the runtime protocols — messaging via ``env.fabric``,
+timers via ``env.scheduler``, crash transitions via ``env.failures`` —
+so the same process code runs unmodified on the real-time asyncio
+backend (:mod:`repro.runtime.asyncio_backend`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
-from .engine import EventHandle, Simulation
+from ..runtime.interfaces import Addressing, NodeId, Runtime, TimerHandle
+from ..runtime.rng import RngRegistry
+from ..runtime.trace import Tracer
+from .engine import Simulation
 from .failure import FailureInjector
-from .network import Network, NodeId
-from .rng import RngRegistry
-from .trace import Tracer
+from .network import LinkModel, Network
 
 
 @dataclass
-class SimEnv:
-    """Everything a process needs to participate in a simulation."""
+class SimRuntime:
+    """Everything a process needs to run on the discrete-event backend."""
 
     sim: Simulation
     network: Network
@@ -33,10 +41,10 @@ class SimEnv:
     def create(
         cls,
         seed: int = 0,
-        link=None,
+        link: Optional[LinkModel] = None,
         shared_medium: bool = True,
         keep_trace: bool = True,
-    ) -> "SimEnv":
+    ) -> "SimRuntime":
         """Build a fresh simulation environment from a root seed."""
         sim = Simulation()
         rng = RngRegistry(seed)
@@ -45,23 +53,56 @@ class SimEnv:
         failures = FailureInjector(sim, network)
         return cls(sim=sim, network=network, rng=rng, tracer=tracer, failures=failures)
 
+    # ------------------------------------------------------------------
+    # Runtime protocol views
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Simulation:
+        """The simulation is its own clock."""
+        return self.sim
+
+    @property
+    def scheduler(self) -> Simulation:
+        """The simulation is its own scheduler."""
+        return self.sim
+
+    @property
+    def fabric(self) -> Network:
+        """The simulated network is the message fabric."""
+        return self.network
+
     @property
     def now(self) -> int:
         """Current simulation time in microseconds."""
         return self.sim.now
 
+    def run_for(self, duration_us: int) -> None:
+        """Execute every event in the next ``duration_us`` microseconds."""
+        self.sim.run_until(self.sim.now + duration_us)
+
+    def group_addressing(self) -> Addressing:
+        """A shared in-memory subscriber registry (IP-multicast analogue)."""
+        from ..vsync.locator import GroupAddressing
+
+        return GroupAddressing()
+
+
+#: Backward-compatible name: the environment bundle predates the
+#: backend-agnostic runtime layer.
+SimEnv = SimRuntime
+
 
 class Process:
-    """Base class for a simulated process bound to one network node."""
+    """Base class for a protocol process bound to one fabric node."""
 
-    def __init__(self, env: SimEnv, node: NodeId):
+    def __init__(self, env: Runtime, node: NodeId):
         self.env = env
         self.node = node
         self.crashed = False
-        self._timers: List[EventHandle] = []
+        self._timers: List[TimerHandle] = []
         #: (period, callback, jitter_stream) specs, re-armed on recovery.
-        self._periodic_specs: List[tuple] = []
-        env.network.attach(node, self._network_deliver)
+        self._periodic_specs: List[Tuple[int, Callable[[], None], str]] = []
+        env.fabric.attach(node, self._network_deliver)
         env.failures.on_transition(node, self._on_transition)
 
     # ------------------------------------------------------------------
@@ -71,13 +112,13 @@ class Process:
         """Unicast ``msg`` to ``dst``.  No-op while crashed."""
         if self.crashed:
             return False
-        return self.env.network.send(self.node, dst, msg, size)
+        return self.env.fabric.send(self.node, dst, msg, size)
 
     def multicast(self, dsts: Iterable[NodeId], msg: Any, size: int = 256) -> int:
         """Multicast ``msg`` to every node in ``dsts`` (one transmission)."""
         if self.crashed:
             return 0
-        return self.env.network.multicast(self.node, dsts, msg, size)
+        return self.env.fabric.multicast(self.node, dsts, msg, size)
 
     def _network_deliver(self, src: NodeId, payload: Any, size: int) -> None:
         if self.crashed:
@@ -91,9 +132,9 @@ class Process:
     # ------------------------------------------------------------------
     # Timers
     # ------------------------------------------------------------------
-    def set_timer(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+    def set_timer(self, delay: int, callback: Callable[[], None]) -> TimerHandle:
         """Run ``callback`` after ``delay`` us unless the process crashes first."""
-        handle = self.env.sim.schedule(delay, self._guard(callback))
+        handle = self.env.scheduler.schedule(delay, self._guard(callback))
         self._timers.append(handle)
         self._prune_timers()
         return handle
@@ -121,11 +162,11 @@ class Process:
             delay = period
             if rng is not None:
                 delay += rng.randint(0, max(1, period // 10))
-            handle = self.env.sim.schedule(delay, self._guard(tick))
+            handle = self.env.scheduler.schedule(delay, self._guard(tick))
             self._timers.append(handle)
 
         first = period if rng is None else period + rng.randint(0, max(1, period // 10))
-        self._timers.append(self.env.sim.schedule(first, self._guard(tick)))
+        self._timers.append(self.env.scheduler.schedule(first, self._guard(tick)))
 
     def _guard(self, callback: Callable[[], None]) -> Callable[[], None]:
         def run() -> None:

@@ -1,94 +1,12 @@
-"""Structured event tracing for simulations.
+"""Compatibility shim: the tracer moved to :mod:`repro.runtime.trace`.
 
-Protocol layers emit ``(time, category, event, fields)`` records through a
-shared :class:`Tracer`.  Tests and benchmarks subscribe to categories to
-observe protocol behaviour (view installations, flushes, naming-service
-reconciliations) without reaching into private state.
+Tracing is backend-agnostic (asyncio-backend runs capture the same
+record stream, stamped with wall-clock microseconds), so it lives in the
+runtime layer now.  Importing it from here keeps working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from ..runtime.trace import NullTracer, TraceListener, TraceRecord, Tracer
 
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One traced event."""
-
-    time: int
-    category: str
-    event: str
-    fields: Dict[str, Any] = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        detail = " ".join(f"{k}={v}" for k, v in self.fields.items())
-        return f"[{self.time:>12}us] {self.category}.{self.event} {detail}".rstrip()
-
-
-TraceListener = Callable[[TraceRecord], None]
-
-
-class Tracer:
-    """Collects trace records and fans them out to listeners.
-
-    Recording to the in-memory list can be disabled for long benchmark
-    runs (listeners still fire) via ``keep_records=False``.
-    """
-
-    def __init__(self, clock: Callable[[], int], keep_records: bool = True):
-        self._clock = clock
-        self._keep = keep_records
-        self.records: List[TraceRecord] = []
-        self._listeners: List[TraceListener] = []
-
-    def emit(self, category: str, event: str, **fields: Any) -> None:
-        """Record an event in ``category`` with arbitrary keyword fields."""
-        if not self._keep and not self._listeners:
-            return  # nobody is watching: skip record construction entirely
-        record = TraceRecord(self._clock(), category, event, fields)
-        if self._keep:
-            self.records.append(record)
-        for listener in self._listeners:
-            listener(record)
-
-    def subscribe(self, listener: TraceListener) -> None:
-        """Register a callback invoked for every emitted record."""
-        self._listeners.append(listener)
-
-    def select(
-        self, category: Optional[str] = None, event: Optional[str] = None
-    ) -> List[TraceRecord]:
-        """Return recorded events filtered by category and/or event name."""
-        out = []
-        for record in self.records:
-            if category is not None and record.category != category:
-                continue
-            if event is not None and record.event != event:
-                continue
-            out.append(record)
-        return out
-
-    def clear(self) -> None:
-        """Drop all recorded events (listeners are kept)."""
-        self.records.clear()
-
-    def dump(self, categories: Optional[Iterable[str]] = None) -> str:
-        """Human-readable dump of the trace, optionally restricted by category."""
-        wanted = set(categories) if categories is not None else None
-        lines = [
-            str(record)
-            for record in self.records
-            if wanted is None or record.category in wanted
-        ]
-        return "\n".join(lines)
-
-
-class NullTracer(Tracer):
-    """A tracer that drops everything — for hot benchmark loops."""
-
-    def __init__(self) -> None:
-        super().__init__(clock=lambda: 0, keep_records=False)
-
-    def emit(self, category: str, event: str, **fields: Any) -> None:  # noqa: D102
-        pass
+__all__ = ["NullTracer", "TraceListener", "TraceRecord", "Tracer"]

@@ -13,10 +13,9 @@ detector's job, not the transport's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
-from .network import NodeId
-from .process import SimEnv
+from ..runtime.interfaces import NodeId, Runtime
 
 
 @dataclass(frozen=True)
@@ -64,7 +63,7 @@ class ReliableTransport:
 
     def __init__(
         self,
-        env: SimEnv,
+        env: Runtime,
         node: NodeId,
         deliver: Callable[[NodeId, Any, int], None],
         retransmit_timeout_us: int = 20_000,
@@ -126,7 +125,7 @@ class ReliableTransport:
         segment = _Segment(
             "data", seq, payload, size, self._sender_floor(state), self.incarnation
         )
-        self.env.network.send(self.node, dst, segment, size)
+        self.env.fabric.send(self.node, dst, segment, size)
         self._arm_retransmit(dst, seq)
 
     #: Exponential-backoff cap for retransmissions, microseconds.
@@ -162,10 +161,10 @@ class ReliableTransport:
             segment = _Segment(
                 "data", seq, payload, size, self._sender_floor(state), self.incarnation
             )
-            self.env.network.send(self.node, dst, segment, size)
-            self.env.sim.schedule(self._backoff(attempts + 1), retry)
+            self.env.fabric.send(self.node, dst, segment, size)
+            self.env.scheduler.schedule(self._backoff(attempts + 1), retry)
 
-        self.env.sim.schedule(self._backoff(0), retry)
+        self.env.scheduler.schedule(self._backoff(0), retry)
 
     def _drain_queue(self, dst: NodeId) -> None:
         state = self._peer(dst)
@@ -215,7 +214,7 @@ class ReliableTransport:
         # never credits acknowledgements meant for its previous life.
         state = self._peer(dst)
         ack = _Segment("ack", up_to, incarnation=state.peer_incarnation)
-        self.env.network.send(self.node, dst, ack, self.ACK_SIZE)
+        self.env.fabric.send(self.node, dst, ack, self.ACK_SIZE)
 
     def _on_ack(self, src: NodeId, up_to: int) -> None:
         state = self._peer(src)

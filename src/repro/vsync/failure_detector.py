@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Set
 
-from ..sim.network import NodeId
-from ..sim.process import SimEnv
+from ..runtime.interfaces import NodeId, Runtime
 from .messages import Heartbeat
 
 SuspicionListener = Callable[[NodeId, bool], None]  # (peer, suspected)
@@ -29,7 +28,7 @@ class FailureDetector:
 
     def __init__(
         self,
-        env: SimEnv,
+        env: Runtime,
         node: NodeId,
         send_multicast: Callable[[Set[NodeId], Heartbeat, int], None],
         heartbeat_period_us: int = 100_000,

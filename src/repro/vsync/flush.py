@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Set, Tuple
 
-from ..sim.network import NodeId
+from ..runtime.interfaces import NodeId
 from .messages import FlushDone, FlushFill, FlushState, Ordered, Stop
 from .view import View, ViewId
 
@@ -105,7 +105,7 @@ class BranchFlushLeader:
             if missing:
                 self.on_stall(missing)
 
-        self._timer = self.host.env.sim.schedule(FLUSH_TIMEOUT_US, check)
+        self._timer = self.host.env.scheduler.schedule(FLUSH_TIMEOUT_US, check)
 
     def missing_participants(self) -> Set[NodeId]:
         """Participants we are still waiting on (states or dones)."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..sim.network import NodeId
+from ..runtime.interfaces import NodeId
 from .flush import FlushParticipant
 from .membership import EndpointState, ViewChangeManager
 from .messages import (

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from ..sim.network import NodeId
+from ..runtime.interfaces import NodeId
 from .view import GroupId
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional, Set, Tuple
 
-from ..sim.network import NodeId
+from ..runtime.interfaces import NodeId
 from .flush import BranchFlushLeader
 from .messages import (
     BranchFlushed,
@@ -269,7 +269,7 @@ class ViewChangeManager:
                 ),
             )
         if rnd.foreign:
-            rnd.merge_timer = self.ep.env.sim.schedule(
+            rnd.merge_timer = self.ep.env.scheduler.schedule(
                 MERGE_BRANCH_TIMEOUT_US, lambda: self._merge_timeout(rnd)
             )
         self._start_own_flush(rnd)
@@ -554,7 +554,7 @@ class ViewChangeManager:
                 branch_coordinator=self.ep.node,
             ),
         )
-        sub.install_timer = self.ep.env.sim.schedule(
+        sub.install_timer = self.ep.env.scheduler.schedule(
             INSTALL_TIMEOUT_US, lambda: self._subordinate_install_timeout(sub, survivors, dedup)
         )
 

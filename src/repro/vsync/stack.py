@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Set
 
-from ..sim.network import NodeId
-from ..sim.process import Process, SimEnv
+from ..runtime.interfaces import Addressing, NodeId, Runtime
+from ..sim.process import Process
 from ..sim.transport import ReliableTransport
 from .failure_detector import FailureDetector
 from .hwg import HwgEndpoint, HwgListener
@@ -54,9 +54,9 @@ class ProtocolStack(Process):
 
     def __init__(
         self,
-        env: SimEnv,
+        env: Runtime,
         node: NodeId,
-        addressing: GroupAddressing,
+        addressing: Addressing,
         config: Optional[VsyncConfig] = None,
     ):
         super().__init__(env, node)
@@ -120,7 +120,7 @@ class ProtocolStack(Process):
     def reliable_send(self, dst: NodeId, msg: VsyncMessage, size: int) -> None:
         if dst == self.node:
             # Local fast-path: still asynchronous to preserve event ordering.
-            self.env.sim.schedule(1, lambda: self._deliver_control(self.node, msg, size))
+            self.env.scheduler.schedule(1, lambda: self._deliver_control(self.node, msg, size))
             return
         self.transport.send(dst, msg, size)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
-from ..sim.network import NodeId
+from ..runtime.interfaces import NodeId
 from .messages import Nack, Ordered, Publish, StabilityAck, StabilityAnnounce
 from .view import View
 
@@ -221,7 +221,7 @@ class OrderedChannel:
             self.host.reliable_send(self.view.coordinator, nack)
             self._arm_nack()  # keep nagging until the gap closes
 
-        self.host.env.sim.schedule(NACK_DELAY_US, fire)
+        self.host.env.scheduler.schedule(NACK_DELAY_US, fire)
 
     # ------------------------------------------------------------------
     # Stability and log garbage collection

@@ -22,17 +22,24 @@ from ..core.config import LwgConfig
 from ..core.service import LwgService
 from ..naming.client import NamingClient
 from ..naming.server import NameServer
-from ..sim.engine import SECOND
-from ..sim.network import LinkModel, NodeId
-from ..sim.process import SimEnv
-from ..vsync.locator import GroupAddressing
+from ..runtime.interfaces import SECOND, NodeId, Runtime
+from ..sim.network import LinkModel
+from ..sim.process import SimRuntime
 from ..vsync.stack import ProtocolStack, VsyncConfig
 
 ServiceFlavour = str  # "dynamic" | "static" | "isolated" | "none"
 
 
 class Cluster:
-    """A fully wired simulated cluster of LWG-capable processes."""
+    """A fully wired cluster of LWG-capable processes.
+
+    By default the cluster runs on the deterministic discrete-event
+    backend (:class:`~repro.sim.process.SimRuntime`).  Pass ``env`` to
+    run the *same* wiring over a different runtime — e.g. an
+    :class:`~repro.runtime.asyncio_backend.AsyncioRuntime`, where every
+    node owns a real UDP socket and timers are wall-clock.  The cluster
+    itself only touches the backend-agnostic runtime interfaces.
+    """
 
     def __init__(
         self,
@@ -47,11 +54,12 @@ class Cluster:
         keep_trace: bool = True,
         process_prefix: str = "p",
         checkers: bool = True,
+        env: Optional[Runtime] = None,
     ):
         if flavour not in ("dynamic", "static", "isolated", "none"):
             raise ValueError(f"unknown service flavour {flavour!r}")
         self.flavour = flavour
-        self.env = SimEnv.create(
+        self.env: Runtime = env if env is not None else SimRuntime.create(
             seed=seed, link=link, shared_medium=shared_medium, keep_trace=keep_trace
         )
         # Online invariant monitors (sanitizer-style): on by default so
@@ -60,7 +68,7 @@ class Cluster:
         self.checkers: Optional[CheckerSuite] = None
         if checkers:
             self.checkers = CheckerSuite.standard().attach(self.env.tracer)
-        self.addressing = GroupAddressing()
+        self.addressing = self.env.group_addressing()
         self.lwg_config = lwg_config or LwgConfig()
         self.vsync_config = vsync_config or VsyncConfig()
         self.name_server_ids = [f"ns{i}" for i in range(num_name_servers)]
@@ -108,23 +116,23 @@ class Cluster:
     # Running
     # ------------------------------------------------------------------
     def run_for(self, duration_us: int) -> None:
-        """Advance the simulation by ``duration_us`` microseconds."""
-        self.env.sim.run_until(self.env.sim.now + duration_us)
+        """Advance the runtime by ``duration_us`` microseconds."""
+        self.env.run_for(duration_us)
 
     def run_for_seconds(self, seconds: float) -> None:
         self.run_for(int(seconds * SECOND))
 
     def run_until(self, predicate: Callable[[], bool], timeout_us: int,
                   step_us: int = 50_000) -> bool:
-        """Step the simulation until ``predicate()`` or ``timeout_us`` elapses.
+        """Step the runtime until ``predicate()`` or ``timeout_us`` elapses.
 
         Returns True if the predicate was met.
         """
-        deadline = self.env.sim.now + timeout_us
-        while self.env.sim.now < deadline:
+        deadline = self.env.now + timeout_us
+        while self.env.now < deadline:
             if predicate():
                 return True
-            self.env.sim.run_until(min(deadline, self.env.sim.now + step_us))
+            self.env.run_for(min(deadline, self.env.now + step_us) - self.env.now)
         return predicate()
 
     # ------------------------------------------------------------------
@@ -146,10 +154,10 @@ class Cluster:
     # ------------------------------------------------------------------
     def partition(self, *blocks: Sequence[NodeId]) -> None:
         """Split the network into the given blocks (ids, not indexes)."""
-        self.env.network.set_partitions(list(blocks))
+        self.env.fabric.set_partitions(list(blocks))
 
     def heal(self) -> None:
-        self.env.network.heal()
+        self.env.fabric.heal()
 
     def crash(self, which: Union[int, NodeId]) -> None:
         node = self.process_ids[which] if isinstance(which, int) else which

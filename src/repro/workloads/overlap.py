@@ -92,18 +92,18 @@ def build_overlap(
     # Creators first (p0 for set A, p4 for set B — disjoint tails), then
     # the rest, staggered as in the Figure-2 harness.
     for index, group in enumerate(groups_a):
-        cluster.env.sim.schedule(index * 150 * MS, lambda g=group: join(g, "p0"))
+        cluster.env.scheduler.schedule(index * 150 * MS, lambda g=group: join(g, "p0"))
     for index, group in enumerate(groups_b):
-        cluster.env.sim.schedule(index * 150 * MS, lambda g=group: join(g, "p4"))
+        cluster.env.scheduler.schedule(index * 150 * MS, lambda g=group: join(g, "p4"))
     cluster.run_for(n * 150 * MS + SECOND)
     for index, group in enumerate(groups_a):
         for node in SET_A[1:]:
-            cluster.env.sim.schedule(index * 40 * MS, lambda g=group, c=node: join(g, c))
+            cluster.env.scheduler.schedule(index * 40 * MS, lambda g=group, c=node: join(g, c))
     for index, group in enumerate(groups_b):
         for node in SET_B:
             if node == "p4":
                 continue
-            cluster.env.sim.schedule(index * 40 * MS, lambda g=group, c=node: join(g, c))
+            cluster.env.scheduler.schedule(index * 40 * MS, lambda g=group, c=node: join(g, c))
     cluster.run_for(n * 40 * MS)
     setup = OverlapSetup(
         cluster=cluster, n=n, groups_a=groups_a, groups_b=groups_b,
@@ -188,7 +188,7 @@ def measure_overlap_latency(setup: OverlapSetup, probes_per_group: int = 6) -> S
         for index, group in enumerate(setup.all_groups):
             handle = setup.handles[(group, setup.sender_of(group))]
             delay = round_no * gap * len(setup.all_groups) + index * gap
-            cluster.env.sim.schedule(
+            cluster.env.scheduler.schedule(
                 delay, lambda h=handle, r=round_no: h.send(probe_payload(cluster.env, r))
             )
     cluster.run_for(probes_per_group * gap * len(setup.all_groups) + 2 * SECOND)

@@ -106,12 +106,12 @@ def build_figure2(
     # Wave 1: creators (the first member of each set), staggered.
     for index, group in enumerate(groups_a):
         creator = cluster.process_ids[0]
-        cluster.env.sim.schedule(
+        cluster.env.scheduler.schedule(
             index * creator_stagger_us, lambda g=group, c=creator: join(g, c)
         )
     for index, group in enumerate(groups_b):
         creator = cluster.process_ids[GROUP_SIZE]
-        cluster.env.sim.schedule(
+        cluster.env.scheduler.schedule(
             index * creator_stagger_us, lambda g=group, c=creator: join(g, c)
         )
     cluster.run_for(n * creator_stagger_us + SECOND)
@@ -119,12 +119,12 @@ def build_figure2(
     # group so large configurations don't storm the medium all at once.
     for index, group in enumerate(groups_a):
         for node in cluster.process_ids[1:GROUP_SIZE]:
-            cluster.env.sim.schedule(
+            cluster.env.scheduler.schedule(
                 index * follower_stagger_us, lambda g=group, c=node: join(g, c)
             )
     for index, group in enumerate(groups_b):
         for node in cluster.process_ids[GROUP_SIZE + 1:]:
-            cluster.env.sim.schedule(
+            cluster.env.scheduler.schedule(
                 index * follower_stagger_us, lambda g=group, c=node: join(g, c)
             )
     cluster.run_for(n * follower_stagger_us)
@@ -172,7 +172,7 @@ def measure_latency(
             sender = setup.sender_of(group)
             handle = setup.handles[(group, sender)]
             delay = round_no * gap_us * len(setup.all_groups) + index * gap_us
-            cluster.env.sim.schedule(
+            cluster.env.scheduler.schedule(
                 delay, lambda h=handle, s=round_no: h.send(probe_payload(cluster.env, s))
             )
     total = probes_per_group * gap_us * len(setup.all_groups) + 2 * SECOND

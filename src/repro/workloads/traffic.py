@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.service import LwgListener
 from ..metrics.collectors import LatencyCollector, RecoveryTimer, ThroughputMeter
-from ..sim.process import SimEnv
+from ..runtime.interfaces import Runtime
 from ..vsync.view import View
 
 
@@ -21,7 +21,7 @@ from ..vsync.view import View
 class ProbeHub:
     """Shared measurement sinks for a scenario's probe listeners."""
 
-    env: SimEnv
+    env: Runtime
     latency: LatencyCollector = field(default_factory=LatencyCollector)
     throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
     recovery: RecoveryTimer = field(default_factory=RecoveryTimer)
@@ -59,7 +59,7 @@ class ProbeListener(LwgListener):
         return self.views[-1] if self.views else None
 
 
-def probe_payload(env: SimEnv, seq: int) -> Tuple[str, int, int]:
+def probe_payload(env: Runtime, seq: int) -> Tuple[str, int, int]:
     """A latency-probe payload carrying its send timestamp."""
     return ("probe", seq, env.now)
 
@@ -69,7 +69,7 @@ class PeriodicSender:
 
     def __init__(
         self,
-        env: SimEnv,
+        env: Runtime,
         stack,
         handle,
         period_us: int,

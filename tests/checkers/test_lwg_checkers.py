@@ -135,7 +135,7 @@ class FakeNetwork:
 
 class FakeEnv:
     def __init__(self, down=()):
-        self.network = FakeNetwork(down)
+        self.fabric = FakeNetwork(down)
 
 
 class FakeLwgService:

@@ -147,6 +147,61 @@ def test_pending_events_counts_uncancelled():
     assert sim.pending_events == 1
 
 
+def test_pending_events_decrements_as_events_fire():
+    sim = Simulation()
+    for i in range(5):
+        sim.schedule(10 * (i + 1), lambda: None)
+    assert sim.pending_events == 5
+    sim.run_until(25)
+    assert sim.pending_events == 3
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_counter():
+    sim = Simulation()
+    handle = sim.schedule(10, lambda: None)
+    sim.run()
+    assert sim.pending_events == 0
+    handle.cancel()  # cancelling a fired event must be a no-op
+    assert sim.pending_events == 0
+
+
+def test_double_cancel_decrements_once():
+    sim = Simulation()
+    handle = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.pending_events == 1
+
+
+def test_pending_events_exact_under_churn():
+    """The live counter always matches a brute-force scan of the heap."""
+    sim = Simulation()
+    handles = [sim.schedule(10 + i, lambda: None) for i in range(100)]
+    for handle in handles[::3]:
+        handle.cancel()
+    expected = sum(
+        1 for h in handles if not h.cancelled and not h.fired
+    )
+    assert sim.pending_events == expected
+    sim.run_until(50)
+    expected = sum(
+        1 for h in handles if not h.cancelled and not h.fired
+    )
+    assert sim.pending_events == expected
+
+
+def test_cancel_from_inside_event_keeps_counter_exact():
+    sim = Simulation()
+    victim = sim.schedule(20, lambda: None)
+    sim.schedule(10, victim.cancel)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
 def test_time_constants():
     assert SECOND == 1_000_000
     assert MS == 1_000

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import LinkModel, Process, ReliableTransport, SimEnv
+from repro.sim.transport import _Segment
 
 
 class Host(Process):
@@ -104,6 +105,107 @@ def test_stop_silences_transport():
     a.transport.send("b", "never")
     env.sim.run()
     assert b.delivered == []
+
+
+# ----------------------------------------------------------------------
+# Floor / abandoned-gap semantics
+# ----------------------------------------------------------------------
+def test_floor_advances_past_multiple_abandoned_messages():
+    env, a, b = make_pair(max_retries=2)
+    env.network.set_partitions([["a"], ["b"]])
+    for i in range(3):
+        a.transport.send("b", f"lost{i}")
+    env.sim.run_until(3_000_000)
+    assert a.transport.gave_up == 3
+    env.network.heal()
+    a.transport.send("b", "fresh")
+    env.sim.run_until(6_000_000)
+    # The fresh segment carries floor=3, so the receiver skips the whole
+    # abandoned gap instead of waiting for seqs 0..2 forever.
+    assert [p for _, p in b.delivered] == ["fresh"]
+
+
+def test_raised_floor_discards_buffered_out_of_order_segments():
+    env, a, b = make_pair()
+    # Seq 1 arrives early and is buffered behind the missing seq 0.
+    b.transport.on_segment("a", _Segment("data", 1, "early", 16, floor=0))
+    assert b.delivered == []
+    # The sender abandons seq 0 and 1: the next segment's floor says so.
+    b.transport.on_segment("a", _Segment("data", 2, "kept", 16, floor=2))
+    assert [p for _, p in b.delivered] == ["kept"]
+    # The buffered seq-1 copy must be gone, not delivered later.
+    state = b.transport._peer("a")
+    assert state.out_of_order == {}
+    assert state.delivered_up_to == 2
+
+
+def test_duplicate_below_floor_reacked_not_redelivered():
+    env, a, b = make_pair()
+    a.transport.send("b", "m0")
+    env.sim.run()
+    assert [p for _, p in b.delivered] == ["m0"]
+    b.transport.on_segment("a", _Segment("data", 0, "m0", 16, floor=0))
+    assert [p for _, p in b.delivered] == ["m0"]
+
+
+# ----------------------------------------------------------------------
+# Crash / recovery and incarnation bumps
+# ----------------------------------------------------------------------
+def test_give_up_then_crash_recover_does_not_wedge_channel():
+    """Abandoned gap + restart (incarnation bump) still yields a clean channel."""
+    env, a, b = make_pair(max_retries=2)
+    env.network.set_partitions([["a"], ["b"]])
+    a.transport.send("b", "lost-pre-crash")
+    env.sim.run_until(2_000_000)
+    assert a.transport.gave_up == 1
+    a.transport.stop()  # fail-stop
+    env.network.heal()
+    a.transport.restart()  # recovery: numbering starts afresh
+    assert a.transport.incarnation == 1
+    a.transport.send("b", "post-recovery")
+    env.sim.run_until(4_000_000)
+    assert [p for _, p in b.delivered] == ["post-recovery"]
+
+
+def test_stale_segment_from_previous_incarnation_ignored():
+    env, a, b = make_pair()
+    a.transport.send("b", "first-life")
+    env.sim.run()
+    a.transport.restart()
+    a.transport.send("b", "second-life")
+    env.sim.run()
+    assert [p for _, p in b.delivered] == ["first-life", "second-life"]
+    # A delayed replay from incarnation 0 must not be delivered again.
+    b.transport.on_segment("a", _Segment("data", 0, "first-life", 16, incarnation=0))
+    assert [p for _, p in b.delivered] == ["first-life", "second-life"]
+
+
+def test_ack_from_previous_incarnation_not_credited():
+    env, a, b = make_pair()
+    a.transport.restart()  # incarnation 1
+    a.transport.send("b", "msg")
+    state = a.transport._peer("b")
+    assert 0 in state.unacked
+    # An ack minted for incarnation 0 (a previous life) arrives late.
+    a.transport.on_segment("b", _Segment("ack", 0, incarnation=0))
+    assert 0 in state.unacked, "stale-incarnation ack must not credit"
+    a.transport.on_segment("b", _Segment("ack", 0, incarnation=1))
+    assert state.unacked == {}
+
+
+def test_receiver_resets_state_on_peer_incarnation_bump():
+    env, a, b = make_pair()
+    for i in range(3):
+        a.transport.send("b", f"old{i}")
+    env.sim.run()
+    a.transport.restart()
+    # Fresh life reuses seqs 0..2; the bump tells b to start over.
+    for i in range(3):
+        a.transport.send("b", f"new{i}")
+    env.sim.run()
+    assert [p for _, p in b.delivered] == [
+        "old0", "old1", "old2", "new0", "new1", "new2"
+    ]
 
 
 def test_many_peers():
