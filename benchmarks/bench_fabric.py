@@ -1,0 +1,62 @@
+"""Hot-path cost of the simulated network fabric.
+
+Not a paper figure — this pins down the per-delivery cost of
+:meth:`Network.multicast` and :meth:`Network.send` after the fan-out
+rewrite:
+
+* the per-call ``sorted(dsts)`` is memoized per distinct destination
+  set (protocol layers multicast to the same view membership over and
+  over);
+* delivery callbacks are pooled slotted objects instead of one lambda
+  closure per scheduled delivery;
+* the per-destination loop inlines the reachability check and the
+  delivery-time model with hoisted attribute lookups.
+
+The workloads are shared with the headless suite behind
+``python -m repro bench`` (``fabric.multicast_fanout`` and
+``fabric.unicast_storm``), so numbers here and in
+``benchmarks/baseline.json`` are directly comparable.
+
+Run with::
+
+    pytest benchmarks/bench_fabric.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.suite import multicast_fanout_workload, unicast_storm_workload
+
+from conftest import SEED
+
+FANOUT_NODES = 24
+FANOUT_ROUNDS = 1500
+STORM_PAIRS = 8
+STORM_MESSAGES = 12_000
+
+
+def test_multicast_fanout(benchmark):
+    """One sender multicasting to a fixed 23-receiver set, every ms."""
+
+    def run():
+        return multicast_fanout_workload(
+            SEED, nodes=FANOUT_NODES, rounds=FANOUT_ROUNDS
+        )
+
+    net = benchmark(run)
+    expected = FANOUT_ROUNDS * (FANOUT_NODES - 1)
+    assert net.messages_delivered == expected
+    assert net.deliveries_scheduled == expected
+    print(f"\ndeliveries: {net.messages_delivered}")
+
+
+def test_unicast_storm(benchmark):
+    """Disjoint node pairs exchanging unicast messages back and forth."""
+
+    def run():
+        return unicast_storm_workload(
+            SEED, pairs=STORM_PAIRS, messages=STORM_MESSAGES
+        )
+
+    net = benchmark(run)
+    assert net.messages_delivered == STORM_MESSAGES
+    print(f"\ndeliveries: {net.messages_delivered}")

@@ -1,0 +1,23 @@
+"""Headless benchmark harness: the tracked perf trajectory of the repo.
+
+``python -m repro bench`` runs the suite in :mod:`repro.bench.suite`,
+writes a ``BENCH_<timestamp>.json`` snapshot at the output directory and
+optionally compares events/sec against a committed baseline
+(``benchmarks/baseline.json``), failing on regressions past a threshold.
+
+See ``docs/PERFORMANCE.md`` for the hot paths the suite pins down and
+the procedure for refreshing the baseline.
+"""
+
+from .suite import BenchResult, BenchSpec, SUITE, run_benchmark
+from .compare import CompareResult, compare_results, load_baseline
+
+__all__ = [
+    "BenchResult",
+    "BenchSpec",
+    "CompareResult",
+    "SUITE",
+    "compare_results",
+    "load_baseline",
+    "run_benchmark",
+]

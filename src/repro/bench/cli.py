@@ -1,0 +1,150 @@
+"""``python -m repro bench`` — run the suite, snapshot, gate on a baseline.
+
+Usage::
+
+    python -m repro bench                       # full suite, write BENCH_*.json
+    python -m repro bench --fast                # CI subset
+    python -m repro bench --fast --check-against benchmarks/baseline.json
+    python -m repro bench --update-baseline benchmarks/baseline.json
+
+Exit code is 0 unless ``--check-against`` finds a regression past the
+threshold.  Wall-clock numbers vary across machines; the committed
+baseline records the reference machine in its header, and the threshold
+is configurable for noisier environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .compare import DEFAULT_THRESHOLD, compare_results, load_baseline
+from .suite import SUITE, BenchResult, run_benchmark
+
+DEFAULT_SEED = 2000  # matches benchmarks/conftest.py SEED
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="headless benchmark suite with baseline regression gating",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="run only the fast (CI) subset"
+    )
+    parser.add_argument(
+        "--filter", metavar="SUBSTR", help="run only benchmarks whose name contains this"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="workload seed (deterministic)"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timed runs per benchmark (best kept)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("."),
+        help="directory for the BENCH_<timestamp>.json snapshot",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip writing the snapshot file"
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        metavar="BASELINE",
+        help="compare events/sec against this baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="regression threshold as a fraction (default 0.15)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        type=Path,
+        metavar="PATH",
+        help="write this run's numbers as the new baseline and exit",
+    )
+    parser.add_argument("--list", action="store_true", help="list benchmarks and exit")
+    return parser
+
+
+def _snapshot(results: List[BenchResult], seed: int) -> dict:
+    return {
+        "schema": 1,
+        "kind": "repro-bench",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "seed": seed,
+        "results": {r.name: r.to_json() for r in results},
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    specs = list(SUITE)
+    if args.fast:
+        specs = [s for s in specs if s.fast]
+    if args.filter:
+        specs = [s for s in specs if args.filter in s.name]
+    if args.list:
+        for spec in specs:
+            tag = "fast" if spec.fast else "slow"
+            print(f"  {spec.name:26s} [{tag}] {spec.description}")
+        return 0
+    if not specs:
+        print("bench: no benchmarks match", file=sys.stderr)
+        return 1
+
+    results: List[BenchResult] = []
+    for spec in specs:
+        result = run_benchmark(spec, seed=args.seed, repeat=args.repeat)
+        results.append(result)
+        print(
+            f"[bench] {result.name:26s} {result.events_per_sec:12.0f} ev/s  "
+            f"({result.events} events in {result.wall_s:.3f}s)"
+        )
+
+    snapshot = _snapshot(results, args.seed)
+
+    if args.update_baseline:
+        args.update_baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.update_baseline.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"bench: baseline updated -> {args.update_baseline}")
+        return 0
+
+    if not args.no_write:
+        args.out.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+        out_path = args.out / f"BENCH_{stamp}.json"
+        out_path.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"bench: snapshot -> {out_path}")
+
+    if args.check_against:
+        baseline = load_baseline(args.check_against)
+        compared = compare_results(results, baseline, threshold=args.threshold)
+        print(f"bench: comparing against {args.check_against} (threshold {args.threshold:.0%})")
+        for line in compared.lines:
+            print(line)
+        if not compared.ok:
+            print(
+                f"bench: {len(compared.regressions)} regression(s): "
+                + ", ".join(compared.regressions),
+                file=sys.stderr,
+            )
+            return 1
+        print("bench: no regressions")
+    return 0

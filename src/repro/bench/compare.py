@@ -1,0 +1,74 @@
+"""Baseline comparison: the regression gate of ``python -m repro bench``.
+
+A baseline file maps benchmark names to the numbers a past run recorded
+(the committed ``benchmarks/baseline.json`` holds the pre-optimization
+figures so every subsequent run proves its speedups against a fixed
+origin).  Comparison is on ``events_per_sec`` only: a benchmark regresses
+when it falls more than ``threshold`` (fraction, default 0.15) below its
+baseline.  Benchmarks missing from either side are reported but never
+fail the gate — adding a benchmark must not require refreshing the
+baseline in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .suite import BenchResult
+
+DEFAULT_THRESHOLD = 0.15
+
+
+@dataclass
+class CompareResult:
+    """Outcome of checking one run against a baseline."""
+
+    regressions: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    missing_in_baseline: List[str] = field(default_factory=list)
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Dict[str, float]]:
+    """Load a baseline file; returns ``{bench_name: {metrics...}}``."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    results = data.get("results", data)
+    if not isinstance(results, dict):
+        raise ValueError(f"malformed baseline file: {path}")
+    return results
+
+
+def compare_results(
+    results: List[BenchResult],
+    baseline: Dict[str, Dict[str, float]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareResult:
+    """Compare a run against ``baseline`` at the given regression threshold."""
+    out = CompareResult()
+    for result in results:
+        base = baseline.get(result.name)
+        if base is None or "events_per_sec" not in base:
+            out.missing_in_baseline.append(result.name)
+            out.lines.append(f"  {result.name:26s} {result.events_per_sec:12.0f} ev/s  (no baseline)")
+            continue
+        base_eps = float(base["events_per_sec"])
+        ratio = result.events_per_sec / base_eps if base_eps else float("inf")
+        verdict = "ok"
+        if result.events_per_sec < base_eps * (1.0 - threshold):
+            verdict = "REGRESSION"
+            out.regressions.append(result.name)
+        elif ratio >= 1.0 + threshold:
+            verdict = "improved"
+            out.improvements.append(result.name)
+        out.lines.append(
+            f"  {result.name:26s} {result.events_per_sec:12.0f} ev/s"
+            f"  vs {base_eps:12.0f}  ({ratio:5.2f}x)  {verdict}"
+        )
+    return out

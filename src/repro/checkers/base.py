@@ -128,8 +128,18 @@ class CheckerSuite:
         return checker
 
     def attach(self, tracer: Tracer) -> "CheckerSuite":
-        """Subscribe to ``tracer`` so every emitted record is checked."""
-        tracer.subscribe(self.on_record)
+        """Subscribe to ``tracer`` so every relevant record is checked.
+
+        When every registered checker declares its categories, the suite
+        subscribes only to their union — categories no checker watches
+        stay on the tracer's no-listener fast path.  A single wildcard
+        checker forces a wildcard subscription.
+        """
+        if self._wildcard or not self.checkers:
+            tracer.subscribe(self.on_record)
+        else:
+            wanted = sorted(self._by_category)
+            tracer.subscribe(self.on_record, categories=wanted)
         return self
 
     # ------------------------------------------------------------------

@@ -18,8 +18,9 @@ seeds — two runs with the same arguments print identical bytes.
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .artifacts import write_artifact
 from .generator import PROFILES, GeneratorConfig, ScheduleGenerator
@@ -70,9 +71,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay schedule JSON files / directories instead of generating",
     )
     parser.add_argument(
+        "--expect-digests",
+        type=Path,
+        metavar="JSON",
+        help=(
+            "JSON map of schedule label (campaign) or file name (replay) to "
+            "expected trace digest; any mismatch fails the run.  Pins replay "
+            "determinism across refactors: a digest drift means observable "
+            "behaviour changed."
+        ),
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true", help="print full schedules"
     )
     return parser
+
+
+class _DigestExpectations:
+    """Compare observed trace digests against a committed pin file.
+
+    Keys absent from the pin file are ignored (new schedules may be added
+    freely); a run that checks *zero* keys fails, because a pin file that
+    matches nothing guards nothing.
+    """
+
+    def __init__(self, path: Path):
+        self.expected: Dict[str, str] = json.loads(path.read_text(encoding="utf-8"))
+        self.checked = 0
+        self.mismatches: List[str] = []
+
+    def check(self, key: str, digest: str) -> None:
+        want = self.expected.get(key)
+        if want is None:
+            return
+        self.checked += 1
+        if digest != want:
+            self.mismatches.append(f"{key}: expected {want}, got {digest}")
+
+    def report(self) -> int:
+        """Print the verdict; return the number of failures."""
+        for line in self.mismatches:
+            print(f"fuzz: digest mismatch — {line}")
+        if self.checked == 0:
+            print("fuzz: --expect-digests matched no schedules; nothing was pinned")
+            return 1
+        if not self.mismatches:
+            print(f"fuzz: {self.checked} digest(s) match the pin file")
+        return len(self.mismatches)
 
 
 def _collect_replay_paths(paths: List[Path]) -> List[Path]:
@@ -85,7 +130,11 @@ def _collect_replay_paths(paths: List[Path]) -> List[Path]:
     return files
 
 
-def _replay(paths: List[Path], verbose: bool) -> int:
+def _replay(
+    paths: List[Path],
+    verbose: bool,
+    expectations: Optional[_DigestExpectations] = None,
+) -> int:
     files = _collect_replay_paths(paths)
     if not files:
         print("fuzz: no schedule files to replay")
@@ -97,12 +146,16 @@ def _replay(paths: List[Path], verbose: bool) -> int:
             print(schedule.describe())
         outcome = run_schedule(schedule)
         print(f"[replay] {path.name}: {outcome.summary()}")
+        if expectations is not None:
+            expectations.check(path.name, outcome.digest)
         if not outcome.is_clean:
             failures += 1
     print(
         f"fuzz replay: {len(files)} schedule(s), "
         f"{len(files) - failures} clean, {failures} failing"
     )
+    if expectations is not None:
+        failures += expectations.report()
     return 0 if failures == 0 else 1
 
 
@@ -132,8 +185,11 @@ def _handle_failure(
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    expectations = (
+        _DigestExpectations(args.expect_digests) if args.expect_digests else None
+    )
     if args.replay:
-        return _replay(args.replay, args.verbose)
+        return _replay(args.replay, args.verbose, expectations)
 
     config = GeneratorConfig(
         num_processes=args.processes,
@@ -152,6 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"[iter {index:03d}] {schedule.label} steps={len(schedule.steps)} "
             f"{outcome.summary()}"
         )
+        if expectations is not None:
+            expectations.check(schedule.label, outcome.digest)
         if not outcome.is_clean:
             _handle_failure(schedule, outcome, args)
     total = args.iters
@@ -161,4 +219,5 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{counts['non-convergence']} non-convergence "
         f"(seed={args.seed}, profile={args.profile})"
     )
-    return 0 if counts[CLEAN] == total else 1
+    digest_failures = expectations.report() if expectations is not None else 0
+    return 0 if counts[CLEAN] == total and digest_failures == 0 else 1

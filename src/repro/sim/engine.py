@@ -5,20 +5,29 @@ instant fire in insertion order, which — together with the seeded RNG in
 :mod:`repro.sim.rng` — makes every run exactly reproducible from its seed.
 
 The engine is intentionally minimal: a priority queue of ``(time, seq,
-callback)`` entries plus cancellation handles.  Everything above it
+handle)`` entries plus cancellation handles.  Everything above it
 (network, processes, protocol stacks) is built from ``schedule`` calls.
+
+Heap entries are plain tuples so every sift comparison runs in C —
+pushing :class:`EventHandle` objects directly would invoke a Python
+``__lt__`` per comparison, which dominated the event loop's profile.
+``(time, seq)`` is unique per event, so comparisons never reach the
+handle in the third slot.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 # Canonical time-base constants live in the backend-agnostic runtime
 # layer; re-exported here because the time base predates that layer.
 from ..runtime.interfaces import MS, SECOND
 
 __all__ = ["MS", "SECOND", "EventHandle", "Simulation", "SimulationError"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -68,6 +77,12 @@ class EventHandle:
         return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
 
 
+# Bound once: the run loops construct one handle per event, and the
+# ``__init__`` call frame plus per-call class attribute lookups showed up
+# prominently in event-loop profiles.
+_new_handle = EventHandle.__new__
+
+
 class Simulation:
     """A single-threaded discrete-event simulation.
 
@@ -81,7 +96,7 @@ class Simulation:
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._queue: List[EventHandle] = []
+        self._queue: List[Tuple[int, int, EventHandle]] = []
         self._running = False
         # Count of scheduled, not-yet-cancelled, not-yet-fired events,
         # maintained incrementally so ``pending_events`` is O(1) instead
@@ -98,7 +113,23 @@ class Simulation:
         """Schedule ``callback`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}us in the past")
-        return self.schedule_at(self._now + int(delay), callback)
+        if type(delay) is not int:
+            delay = int(delay)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        # Handle construction is inlined (no ``__init__`` call): this is
+        # the single hottest allocation in the simulator.
+        handle = _new_handle(EventHandle)
+        handle.time = time
+        handle.seq = seq
+        handle.callback = callback
+        handle.cancelled = False
+        handle.fired = False
+        handle._sim = self
+        _heappush(self._queue, (time, seq, handle))
+        return handle
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute simulation ``time``."""
@@ -106,15 +137,25 @@ class Simulation:
             raise SimulationError(
                 f"cannot schedule at t={time}us, now is t={self._now}us"
             )
-        handle = EventHandle(int(time), self._seq, callback, self)
-        self._seq += 1
+        if type(time) is not int:
+            time = int(time)
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._queue, handle)
+        handle = _new_handle(EventHandle)
+        handle.time = time
+        handle.seq = seq
+        handle.callback = callback
+        handle.cancelled = False
+        handle.fired = False
+        handle._sim = self
+        _heappush(self._queue, (time, seq, handle))
         return handle
 
     def _pop_runnable(self) -> Optional[EventHandle]:
-        while self._queue:
-            handle = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            handle = heapq.heappop(queue)[2]
             if not handle.cancelled:
                 return handle
         return None
@@ -142,15 +183,29 @@ class Simulation:
         """Run every event with timestamp ``<= time``; advance clock to ``time``."""
         if time < self._now:
             raise SimulationError(f"cannot run backwards to t={time}us")
-        while self._queue:
-            head = self._peek()
-            if head is None or head.time > time:
+        # Hot loop: fire events inline (no ``_peek``/``_fire`` calls), one
+        # heap pop per event.  ``callback is None`` doubles as the
+        # cancellation test — fired entries never sit in the heap, so a
+        # None callback can only mean ``cancel()`` ran.  The one event
+        # popped past the horizon is pushed back (once per call, not per
+        # event).
+        queue = self._queue
+        heappop = _heappop
+        while queue:
+            head = heappop(queue)
+            handle = head[2]
+            callback = handle.callback
+            if callback is None:  # cancelled
+                continue
+            head_time = head[0]
+            if head_time > time:
+                _heappush(queue, head)
                 break
-            # ``head`` is the queue front (``_peek`` discarded cancelled
-            # entries above it), so pop it directly instead of re-popping
-            # through ``step`` — one heap operation per event, not two.
-            heapq.heappop(self._queue)
-            self._fire(head)
+            self._now = head_time
+            handle.fired = True
+            self._live -= 1
+            handle.callback = None
+            callback()
         self._now = max(self._now, int(time))
 
     def run(self, max_events: int = 10_000_000) -> int:
@@ -158,17 +213,29 @@ class Simulation:
 
         ``max_events`` is a runaway-protocol backstop; exceeding it raises.
         """
+        queue = self._queue
+        heappop = _heappop
         count = 0
-        while self.step():
+        while queue:
+            handle = heappop(queue)[2]
+            callback = handle.callback
+            if callback is None:  # cancelled (see run_until)
+                continue
             count += 1
             if count > max_events:
                 raise SimulationError(f"exceeded {max_events} events; runaway protocol?")
+            self._now = handle.time
+            handle.fired = True
+            self._live -= 1
+            handle.callback = None
+            callback()
         return count
 
     def _peek(self) -> Optional[EventHandle]:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0][2] if queue else None
 
     @property
     def pending_events(self) -> int:

@@ -21,7 +21,7 @@ Delivery callbacks are registered per node via :meth:`Network.attach`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..runtime.interfaces import DeliveryCallback, NodeId
 from ..runtime.rng import RngRegistry
@@ -29,6 +29,42 @@ from ..runtime.trace import Tracer
 from .engine import Simulation
 
 __all__ = ["DeliveryCallback", "LinkModel", "Network", "NodeId"]
+
+#: Bound on the sorted-destination memo (distinct destination sets are
+#: few — view memberships and name-server peer sets — but churny
+#: workloads must not grow the cache without limit).
+_SORTED_DSTS_MEMO_MAX = 1024
+
+#: Bound on the recycled delivery-event pool.
+_DELIVERY_POOL_MAX = 4096
+
+
+class _Delivery:
+    """A reusable delivery event.
+
+    ``Network.multicast`` used to allocate one lambda closure (plus its
+    cells) per scheduled delivery; these slotted objects are cheaper to
+    fill in and are recycled through ``Network._delivery_pool`` once
+    fired.  Recycling is safe because the simulation engine drops its
+    reference to the callback the moment it fires, and a delivery event
+    is never cancelled.
+    """
+
+    __slots__ = ("net", "src", "dst", "payload", "size")
+
+    net: "Network"
+    src: NodeId
+    dst: NodeId
+    payload: Any
+    size: int
+
+    def __call__(self) -> None:
+        net = self.net
+        net._deliver(self.src, self.dst, self.payload, self.size)
+        self.payload = None  # do not pin message payloads while pooled
+        pool = net._delivery_pool
+        if len(pool) < _DELIVERY_POOL_MAX:
+            pool.append(self)
 
 
 @dataclass
@@ -89,7 +125,17 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.deliveries_scheduled = 0
         self.bytes_sent = 0
+        # Hot-path caches (see docs/PERFORMANCE.md).  The sorted-
+        # destination memo preserves the replay-critical sorted iteration
+        # order of ``multicast`` while paying the sort once per distinct
+        # destination set; it is invalidated whenever the node population
+        # changes.  The partition-block list is recomputed only when the
+        # partition map or the node population changes.
+        self._sorted_dsts: Dict[FrozenSet[NodeId], Tuple[NodeId, ...]] = {}
+        self._blocks_cache: Optional[List[FrozenSet[NodeId]]] = None
+        self._delivery_pool: List[_Delivery] = []
 
     # ------------------------------------------------------------------
     # Topology management
@@ -99,12 +145,16 @@ class Network:
         self._callbacks[node] = callback
         self._alive[node] = True
         self._partition_of.setdefault(node, 0)
+        self._sorted_dsts.clear()
+        self._blocks_cache = None
 
     def detach(self, node: NodeId) -> None:
         """Remove ``node`` from the network entirely."""
         self._callbacks.pop(node, None)
         self._alive.pop(node, None)
         self._partition_of.pop(node, None)
+        self._sorted_dsts.clear()
+        self._blocks_cache = None
 
     @property
     def nodes(self) -> List[NodeId]:
@@ -146,6 +196,7 @@ class Network:
                 assignment[node] = index
         for node in self._callbacks:
             self._partition_of[node] = assignment.get(node, 0)
+        self._blocks_cache = None
         self.tracer.emit(
             "network", "partition",
             blocks=[sorted(n for n in self._callbacks if self._partition_of[n] == i)
@@ -156,14 +207,24 @@ class Network:
         """Merge all partition blocks back into one."""
         for node in self._partition_of:
             self._partition_of[node] = 0
+        self._blocks_cache = None
         self.tracer.emit("network", "heal")
 
     def partition_blocks(self) -> List[FrozenSet[NodeId]]:
-        """Current partition blocks containing at least one node."""
-        by_block: Dict[int, Set[NodeId]] = {}
-        for node, block in self._partition_of.items():
-            by_block.setdefault(block, set()).add(node)
-        return [frozenset(nodes) for _, nodes in sorted(by_block.items())]
+        """Current partition blocks containing at least one node.
+
+        Cached until the partition map changes (``set_partitions`` /
+        ``heal``) or the node population changes (``attach`` /
+        ``detach``); a fresh list is returned so callers may mutate it.
+        """
+        if self._blocks_cache is None:
+            by_block: Dict[int, Set[NodeId]] = {}
+            for node, block in self._partition_of.items():
+                by_block.setdefault(block, set()).add(node)
+            self._blocks_cache = [
+                frozenset(nodes) for _, nodes in sorted(by_block.items())
+            ]
+        return list(self._blocks_cache)
 
     def reachable(self, a: NodeId, b: NodeId) -> bool:
         """True if a message sent now from ``a`` would be deliverable to ``b``."""
@@ -223,7 +284,8 @@ class Network:
             return False
         _, wire_done = self._transmission_start(src, size)
         done = self._delivery_time(dst, wire_done)
-        self.sim.schedule_at(done, lambda: self._deliver(src, dst, payload, size))
+        self.deliveries_scheduled += 1
+        self.sim.schedule_at(done, self._delivery_event(src, dst, payload, size))
         return True
 
     def multicast(
@@ -233,7 +295,8 @@ class Network:
 
         The medium is reserved once; every reachable destination pays its
         own receive-processing cost.  Returns the number of scheduled
-        deliveries.
+        deliveries.  Unreachable destinations count as per-receiver drops
+        (mirroring the unicast ``send`` accounting).
         """
         self.messages_sent += 1
         self.bytes_sent += size
@@ -245,28 +308,84 @@ class Network:
         # Iterate destinations in sorted order: callers often pass sets,
         # and the per-receiver jitter draws below must not depend on a
         # hash-randomized iteration order or runs stop being replayable
-        # across interpreter processes.
-        for dst in sorted(dsts):
+        # across interpreter processes.  The sort is memoized per distinct
+        # destination set — protocol layers multicast to the same view
+        # membership over and over.
+        key = frozenset(dsts)
+        order = self._sorted_dsts.get(key)
+        if order is None:
+            if len(self._sorted_dsts) >= _SORTED_DSTS_MEMO_MAX:
+                self._sorted_dsts.clear()
+            order = self._sorted_dsts[key] = tuple(sorted(key))
+        # The per-destination body below is ``_delivery_time`` +
+        # ``reachable`` + ``_delivery_event`` inlined with hoisted
+        # attribute lookups: the fan-out loop is the fabric's hottest
+        # code.  The logic (including the order of RNG draws) must stay
+        # exactly equivalent to the helper methods or replays diverge.
+        link = self.link
+        loss = link.loss_probability
+        jitter_us = link.jitter_us
+        latency_us = link.latency_us
+        rx_cost_us = link.rx_cost_us
+        rng = self._rng
+        alive = self._alive
+        partition_of = self._partition_of
+        src_block = partition_of.get(src)
+        rx_free_at = self._rx_free_at
+        pool = self._delivery_pool
+        schedule_at = self.sim.schedule_at
+        dropped = 0
+        for dst in order:
             if dst == src:
                 # Loopback delivery skips the network but keeps rx cost.
-                done = self._delivery_time(dst, self.sim.now)
-                self.sim.schedule_at(done, self._make_delivery(src, dst, payload, size))
-                scheduled += 1
-                continue
-            if not self.reachable(src, dst):
-                continue
-            if self.link.loss_probability and self._rng.random() < self.link.loss_probability:
-                self.messages_dropped += 1
-                continue
-            done = self._delivery_time(dst, wire_done)
-            self.sim.schedule_at(done, self._make_delivery(src, dst, payload, size))
+                arrival = self.sim.now + latency_us
+                if jitter_us:
+                    arrival += rng.randint(0, jitter_us)
+            else:
+                if not alive.get(dst, False) or partition_of.get(dst) != src_block:
+                    dropped += 1
+                    continue
+                if loss and rng.random() < loss:
+                    dropped += 1
+                    continue
+                arrival = wire_done + latency_us
+                if jitter_us:
+                    arrival += rng.randint(0, jitter_us)
+            rx_start = rx_free_at.get(dst, 0)
+            if arrival > rx_start:
+                rx_start = arrival
+            done = rx_start + rx_cost_us
+            rx_free_at[dst] = done
+            if pool:
+                event = pool.pop()
+            else:
+                event = _Delivery()
+                event.net = self
+            event.src = src
+            event.dst = dst
+            event.payload = payload
+            event.size = size
+            schedule_at(done, event)
             scheduled += 1
+        self.messages_dropped += dropped
+        self.deliveries_scheduled += scheduled
         return scheduled
 
-    def _make_delivery(
+    def _delivery_event(
         self, src: NodeId, dst: NodeId, payload: Any, size: int
-    ) -> Callable[[], None]:
-        return lambda: self._deliver(src, dst, payload, size)
+    ) -> "_Delivery":
+        """A filled-in (pooled) delivery event for the scheduler."""
+        pool = self._delivery_pool
+        if pool:
+            event = pool.pop()
+        else:
+            event = _Delivery()
+            event.net = self
+        event.src = src
+        event.dst = dst
+        event.payload = payload
+        event.size = size
+        return event
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -96,7 +96,12 @@ class HwgEndpoint:
         self.participant = FlushParticipant(self)
         self.vcm = ViewChangeManager(self)
         self._prejoin_sends: List[Tuple[Any, int]] = []
-        self._monitored: Set[NodeId] = set()
+        # Peers currently monitored via the failure detector, kept as a
+        # sorted tuple computed once per view install: every later
+        # traversal (leave teardown, monitoring diffs) needs the sorted
+        # order for determinism, so sorting at mutation time replaces a
+        # ``sorted(set)`` per traversal on the view-change path.
+        self._monitored: Tuple[NodeId, ...] = ()
         self._join_timer = None
         self._leave_timer = None
         self.views_installed = 0
@@ -239,9 +244,9 @@ class HwgEndpoint:
         self.vcm.reset()
         self.participant.reset()
         self.channel = OrderedChannel(self)
-        for peer in sorted(self._monitored):
+        for peer in self._monitored:  # already sorted (see __init__)
             self.fd.unmonitor(peer)
-        self._monitored.clear()
+        self._monitored = ()
         self.trace("left", view=str(old_view.view_id) if old_view else None)
         self.listener.on_left(self.group)
 
@@ -364,14 +369,15 @@ class HwgEndpoint:
 
     def _update_monitoring(self, view: View) -> None:
         wanted = set(view.members) - {self.node}
+        current = set(self._monitored)
         # Sorted iteration: monitor() order fixes the detector's internal
         # peer order and thus its suspicion-notification order, which
         # must not depend on hash-randomized set iteration.
-        for peer in sorted(wanted - self._monitored):
+        for peer in sorted(wanted - current):
             self.fd.monitor(peer)
-        for peer in sorted(self._monitored - wanted):
+        for peer in sorted(current - wanted):
             self.fd.unmonitor(peer)
-        self._monitored = wanted
+        self._monitored = tuple(sorted(wanted))
 
     # ------------------------------------------------------------------
     # Presence beacons
@@ -434,7 +440,9 @@ class HwgEndpoint:
         self.vcm.on_suspicion_change(peer, suspected)
 
     def trace(self, event: str, **fields) -> None:
-        self.env.tracer.emit("hwg", event, node=self.node, group=self.group, **fields)
+        tracer = self.env.tracer
+        if tracer.enabled("hwg"):
+            tracer.emit("hwg", event, node=self.node, group=self.group, **fields)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         vid = str(self.current_view.view_id) if self.current_view else "-"

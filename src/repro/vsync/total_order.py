@@ -184,16 +184,21 @@ class OrderedChannel:
         if msg.sender == self.host.node:
             self.pending.pop(msg.sender_seq, None)
         self.delivered_count += 1
-        self.host.env.tracer.emit(
-            "hwg",
-            "data_delivered",
-            node=self.host.node,
-            group=self.host.group,
-            view=str(msg.view_id),
-            seq=msg.seq,
-            sender=msg.sender,
-            sender_seq=msg.sender_seq,
-        )
+        tracer = self.host.env.tracer
+        # Hottest emit in the stack — one per delivered message.  The
+        # ``enabled`` guard skips stringifying the view id and building
+        # the kwargs dict when nobody watches the "hwg" category.
+        if tracer.enabled("hwg"):
+            tracer.emit(
+                "hwg",
+                "data_delivered",
+                node=self.host.node,
+                group=self.host.group,
+                view=str(msg.view_id),
+                seq=msg.seq,
+                sender=msg.sender,
+                sender_seq=msg.sender_seq,
+            )
         self.host.deliver_data(msg.sender, msg.payload, msg.payload_size)
 
     def log_gap_exists(self) -> bool:

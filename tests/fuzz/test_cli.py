@@ -1,10 +1,12 @@
 """The ``python -m repro fuzz`` command-line driver."""
 
+import json
 from pathlib import Path
 
 from repro.fuzz.cli import main
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
+PIN_FILE = Path(__file__).parent / "expected_digests.json"
 
 
 def test_small_campaign_exits_zero_and_reports(capsys):
@@ -46,3 +48,37 @@ def test_replay_with_nothing_to_do_fails(tmp_path, capsys):
     code = main(["--replay", str(tmp_path)])  # empty directory
     assert code == 1
     assert "no schedule files" in capsys.readouterr().out
+
+
+def test_corpus_digests_match_committed_pins(capsys):
+    """The frozen corpus replays to the exact pinned trace digests.
+
+    This is the replay-transparency gate: any hot-path change that
+    alters an RNG draw or an iteration order fails here, locally,
+    before it ever reaches CI.
+    """
+    code = main(["--replay", str(CORPUS_DIR), "--expect-digests", str(PIN_FILE)])
+    out = capsys.readouterr().out
+    assert code == 0
+    pinned_corpus = sum(1 for k in json.loads(PIN_FILE.read_text()) if k.endswith(".json"))
+    assert f"{pinned_corpus} digest(s) match the pin file" in out
+
+
+def test_digest_mismatch_fails_the_run(tmp_path, capsys):
+    path = sorted(CORPUS_DIR.glob("*.json"))[0]
+    pins = tmp_path / "pins.json"
+    pins.write_text(json.dumps({path.name: "0" * 16}))
+    code = main(["--replay", str(path), "--expect-digests", str(pins)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "digest mismatch" in out
+
+
+def test_pin_file_matching_nothing_fails(tmp_path, capsys):
+    path = sorted(CORPUS_DIR.glob("*.json"))[0]
+    pins = tmp_path / "pins.json"
+    pins.write_text(json.dumps({"unrelated.json": "0" * 16}))
+    code = main(["--replay", str(path), "--expect-digests", str(pins)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "matched no schedules" in out
