@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro bench                       # full suite, write BENCH_*.json
+    python -m repro bench      # full suite, snapshot under benchmarks/snapshots/
     python -m repro bench --fast                # CI subset
     python -m repro bench --fast --check-against benchmarks/baseline.json
     python -m repro bench --update-baseline benchmarks/baseline.json
@@ -49,7 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out",
         type=Path,
-        default=Path("."),
+        default=Path("benchmarks/snapshots"),
         help="directory for the BENCH_<timestamp>.json snapshot",
     )
     parser.add_argument(

@@ -319,3 +319,199 @@ def bench_cluster_traffic(seed: int) -> Tuple[int, Dict[str, Any]]:
         "messages_sent": cluster.env.network.messages_sent,
         "sim_time_us": cluster.env.now,
     }
+
+
+# ----------------------------------------------------------------------
+# Co-mapped LWG traffic: the batching win
+# ----------------------------------------------------------------------
+COMAPPED_PROCESSES = 4
+COMAPPED_GROUPS = 6
+COMAPPED_BURSTS = 25
+COMAPPED_BURST_SIZE = 4
+
+
+def comapped_traffic_workload(seed: int, enable_batching: bool):
+    """Several LWGs statically co-mapped on ONE shared HWG, all chatty.
+
+    This is the shape the paper's amortization argument lives on — and
+    the shape where the PR-5 packer pays off: every process's per-burst
+    payloads (across all its LWGs) coalesce into a couple of HWG
+    multicasts instead of ``groups x burst_size`` of them.
+    """
+    from ..core.config import LwgConfig
+    from ..workloads.cluster import Cluster
+
+    config = LwgConfig(enable_batching=enable_batching)
+    cluster = Cluster(
+        num_processes=COMAPPED_PROCESSES,
+        seed=seed,
+        flavour="static",
+        lwg_config=config,
+        keep_trace=False,
+        checkers=False,
+    )
+    groups = [f"g{i}" for i in range(COMAPPED_GROUPS)]
+    for node in cluster.process_ids:
+        for group in groups:
+            cluster.services[node].join(group)
+    cluster.run_for(8 * SECOND)
+    for burst in range(COMAPPED_BURSTS):
+        for node in cluster.process_ids:
+            for group in groups:
+                for k in range(COMAPPED_BURST_SIZE):
+                    cluster.services[node].send(group, f"m:{burst}:{k}")
+        cluster.run_for(SECOND // 2)
+    cluster.run_for(2 * SECOND)
+    return cluster
+
+
+def _app_deliveries(cluster) -> int:
+    """User-payload deliveries summed over every process and LWG."""
+    return sum(
+        entry.delivered
+        for service in cluster.services.values()
+        for entry in service.table.locals.values()
+    )
+
+
+@_register(
+    "lwg.comapped_traffic",
+    fast=True,
+    description="N LWGs on one HWG, batching on vs off",
+)
+def bench_lwg_comapped(seed: int) -> Tuple[int, Dict[str, Any]]:
+    start = time.perf_counter()
+    batched = comapped_traffic_workload(seed, enable_batching=True)
+    wall_on = max(time.perf_counter() - start, 1e-9)
+    start = time.perf_counter()
+    unbatched = comapped_traffic_workload(seed, enable_batching=False)
+    wall_off = max(time.perf_counter() - start, 1e-9)
+    events_on, events_off = _app_deliveries(batched), _app_deliveries(unbatched)
+    eps_on, eps_off = events_on / wall_on, events_off / wall_off
+    return events_on, {
+        "batching_on_eps": round(eps_on, 1),
+        "batching_off_eps": round(eps_off, 1),
+        "speedup": round(eps_on / eps_off, 2),
+        "deliveries_on": events_on,
+        "deliveries_off": events_off,
+        "fabric_msgs_on": batched.env.network.messages_sent,
+        "fabric_msgs_off": unbatched.env.network.messages_sent,
+    }
+
+
+# ----------------------------------------------------------------------
+# Naming reconciliation: delta vs full-database exchange
+# ----------------------------------------------------------------------
+RECONCILE_SHARED = 300
+RECONCILE_DIVERGED = 30
+RECONCILE_ROUNDS = 10
+
+
+def _reconcile_pair(seed_tag: str):
+    """Two replicas sharing a base of records, each with its own delta."""
+    from ..naming.database import NamingDatabase
+    from ..naming.records import MappingRecord
+    from ..vsync.view import ViewId
+
+    def make(lwg: str, coord: str, i: int) -> MappingRecord:
+        return MappingRecord(
+            lwg=lwg, lwg_view=ViewId(coord, i), lwg_members=(coord,),
+            hwg=f"hwg:{i % 9}", hwg_view=ViewId("h", i), version=1, writer=coord,
+        )
+
+    left, right = NamingDatabase(), NamingDatabase()
+    for i in range(RECONCILE_SHARED):
+        shared = make(f"lwg:{seed_tag}:s{i}", "ps", i)
+        left.apply(shared)
+        right.apply(shared)
+    for i in range(RECONCILE_DIVERGED):
+        left.apply(make(f"lwg:{seed_tag}:l{i}", "pl", i))
+        right.apply(make(f"lwg:{seed_tag}:r{i}", "pr", i))
+    return left, right
+
+
+def reconcile_delta_workload(seed: int) -> Tuple[int, Dict[str, Any]]:
+    """Wire bytes to reconcile partially-divergent replicas, both designs.
+
+    The delta design is the implemented 3-message push-pull: digests
+    travel, then only ``records_to_send``/``genealogy_to_send`` results.
+    The full design ships both complete databases.  Both converge to the
+    same state; the bytes differ — and once converged, the next delta
+    exchange collapses to a hash handshake (``steady_bytes``).
+    """
+    from ..naming.messages import SyncReply, SyncRequest, SyncUpdate
+    from ..naming.reconciliation import (
+        absorb,
+        databases_identical,
+        genealogy_to_send,
+        records_to_send,
+    )
+
+    delta_bytes = full_bytes = steady_bytes = 0
+    records_processed = 0
+    for round_no in range(RECONCILE_ROUNDS):
+        left, right = _reconcile_pair(f"r{round_no}")
+        request = SyncRequest(
+            sender="nsA", sync_id=1, digest=left.digest(),
+            genealogy_children=tuple(left.genealogy_edges()),
+            db_hash=left.content_hash(),
+        )
+        reply = SyncReply(
+            sender="nsB", sync_id=1,
+            records=tuple(records_to_send(right, request.digest)),
+            genealogy=genealogy_to_send(right, request.genealogy_children),
+            digest=right.digest(),
+            genealogy_children=tuple(right.genealogy_edges()),
+        )
+        absorb(left, reply.records, reply.genealogy)
+        update = SyncUpdate(
+            sender="nsA", sync_id=1,
+            records=tuple(records_to_send(left, reply.digest)),
+            genealogy=genealogy_to_send(left, reply.genealogy_children),
+        )
+        absorb(right, update.records, update.genealogy)
+        delta_bytes += request.size_bytes() + reply.size_bytes() + update.size_bytes()
+
+        # Converged replicas short-circuit the next exchange on the hash.
+        assert databases_identical([left, right])
+        steady_request = SyncRequest(sender="nsA", sync_id=2, db_hash=left.content_hash())
+        steady_reply = SyncReply(sender="nsB", sync_id=2, in_sync=True)
+        steady_bytes += steady_request.size_bytes() + steady_reply.size_bytes()
+
+        full_left, full_right = _reconcile_pair(f"r{round_no}")
+        full_reply = SyncReply(
+            sender="nsB", sync_id=1,
+            records=tuple(full_right.snapshot()),
+            genealogy=full_right.genealogy_edges(),
+            digest=full_right.digest(),
+            genealogy_children=tuple(full_right.genealogy_edges()),
+        )
+        absorb(full_left, full_reply.records, full_reply.genealogy)
+        full_update = SyncUpdate(
+            sender="nsA", sync_id=1,
+            records=tuple(full_left.snapshot()),
+            genealogy=full_left.genealogy_edges(),
+        )
+        absorb(full_right, full_update.records, full_update.genealogy)
+        full_bytes += (
+            SyncRequest(sender="nsA", sync_id=1, digest=full_left.digest()).size_bytes()
+            + full_reply.size_bytes()
+            + full_update.size_bytes()
+        )
+        assert databases_identical([left, right, full_left, full_right])
+        records_processed += len(left) + len(right)
+    return records_processed, {
+        "delta_bytes": delta_bytes,
+        "full_bytes": full_bytes,
+        "steady_bytes": steady_bytes,
+        "bytes_ratio": round(delta_bytes / full_bytes, 3),
+    }
+
+
+@_register(
+    "naming.reconcile_delta",
+    fast=True,
+    description="delta vs full-database reconciliation bytes",
+)
+def bench_naming_reconcile_delta(seed: int) -> Tuple[int, Dict[str, Any]]:
+    return reconcile_delta_workload(seed)

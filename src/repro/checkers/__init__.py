@@ -6,7 +6,12 @@ simulation run into a continuous test of them.  See ``docs/PROTOCOLS.md``
 """
 
 from .base import Checker, CheckerSuite, InvariantViolation
-from .lwg import LwgAgreementChecker, LwgConvergenceChecker, MergeRoundChecker
+from .lwg import (
+    BatchAccountingChecker,
+    LwgAgreementChecker,
+    LwgConvergenceChecker,
+    MergeRoundChecker,
+)
 from .naming import GenealogyGcChecker, NamingConvergenceChecker
 from .vsync import DeliveryChecker, ViewAgreementChecker
 
@@ -17,6 +22,7 @@ __all__ = [
     "ViewAgreementChecker",
     "DeliveryChecker",
     "LwgAgreementChecker",
+    "BatchAccountingChecker",
     "MergeRoundChecker",
     "LwgConvergenceChecker",
     "GenealogyGcChecker",

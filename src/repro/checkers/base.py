@@ -103,7 +103,12 @@ class CheckerSuite:
     @classmethod
     def standard(cls, raise_immediately: bool = True) -> "CheckerSuite":
         """A suite with every stock checker registered."""
-        from .lwg import LwgAgreementChecker, LwgConvergenceChecker, MergeRoundChecker
+        from .lwg import (
+            BatchAccountingChecker,
+            LwgAgreementChecker,
+            LwgConvergenceChecker,
+            MergeRoundChecker,
+        )
         from .naming import GenealogyGcChecker, NamingConvergenceChecker
         from .vsync import DeliveryChecker, ViewAgreementChecker
 
@@ -111,6 +116,7 @@ class CheckerSuite:
         suite.add(ViewAgreementChecker())
         suite.add(DeliveryChecker())
         suite.add(LwgAgreementChecker())
+        suite.add(BatchAccountingChecker())
         suite.add(MergeRoundChecker())
         suite.add(GenealogyGcChecker())
         suite.add(NamingConvergenceChecker())

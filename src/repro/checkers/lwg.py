@@ -119,6 +119,56 @@ class MergeRoundChecker(Checker):
             self._open.pop((fields["node"], fields["hwg"]), None)
 
 
+class BatchAccountingChecker(Checker):
+    """Batch-aware delivery accounting (PROTOCOLS.md §15).
+
+    The packer coalesces LWG DATA payloads into one HWG multicast; the
+    receiver demultiplexes them.  Two bookkeeping properties keep the
+    batched data path equivalent to the unbatched one:
+
+    * **count agreement** — a batch is unpacked with exactly as many
+      entries as it was sent with (identified by ``(sender,
+      batch_seq)``);
+    * **at-most-once unpack** — no node unpacks the same batch twice
+      (the HWG ordered channel dedups, so a double unpack would mean
+      duplicated delivery of every entry).
+    """
+
+    name = "batch-accounting"
+    categories = ("lwg",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (sender, batch_seq) -> entry count at send time.
+        self._sent: Dict[Tuple[str, int], int] = {}
+        #: (node, sender, batch_seq) already unpacked.
+        self._unpacked: Set[Tuple[str, str, int]] = set()
+
+    def on_record(self, record: TraceRecord) -> None:
+        fields = record.fields
+        if record.event == "batch_sent":
+            self._sent[(fields["node"], fields["batch_seq"])] = fields["entries"]
+        elif record.event == "batch_unpacked":
+            node, sender = fields["node"], fields["sender"]
+            batch_seq, entries = fields["batch_seq"], fields["entries"]
+            sent = self._sent.get((sender, batch_seq))
+            if sent is not None and sent != entries:
+                self.fail(
+                    "batch count agreement",
+                    f"{node} unpacked batch {sender}#{batch_seq} with "
+                    f"{entries} entries, but it was sent with {sent}",
+                    record,
+                )
+            key = (node, sender, batch_seq)
+            if key in self._unpacked:
+                self.fail(
+                    "at-most-once unpack",
+                    f"{node} unpacked batch {sender}#{batch_seq} twice",
+                    record,
+                )
+            self._unpacked.add(key)
+
+
 class LwgConvergenceChecker(Checker):
     """At quiesce, every LWG has exactly one view on one HWG.
 

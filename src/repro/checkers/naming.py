@@ -118,3 +118,12 @@ class NamingConvergenceChecker(Checker):
                     f"server {server.node} still holds multiple mappings at "
                     f"quiesce: {detail}",
                 )
+        # Delta-based anti-entropy must reach the *byte-identical* fixed
+        # point (tombstones and genealogy included) — that is what lets
+        # steady-state exchanges short-circuit on the database hash.
+        hashes = {server.node: server.db.content_hash() for server in servers}
+        if len(set(hashes.values())) > 1:
+            self.fail(
+                "byte-identical replicas",
+                f"replica content hashes still diverge at quiesce: {hashes}",
+            )

@@ -1,0 +1,127 @@
+"""Data-path batching: pack LWG DATA payloads per destination HWG.
+
+The paper's economics argue that many light-weight groups amortize one
+heavy-weight group's machinery — membership, failure detection, flush.
+This module extends the amortization to the data path: every LWG
+``send()`` within a short flush window whose encapsulated ``LwgData``
+is bound for the *same* HWG is coalesced into a single
+:class:`~repro.core.messages.LwgBatch` occupying one slot of the HWG's
+total order (one Publish, one Ordered multicast, one piggybacked ack),
+instead of one full protocol round-trip per payload.
+
+Correctness rules (PROTOCOLS.md §15):
+
+* **Entry order is send order.**  A batch is unpacked in tuple order at
+  every receiver, inside a single totally-ordered delivery, so FIFO per
+  sender and group-wide total order are exactly what the unbatched path
+  gives.
+* **Control messages flush first.**  Any non-DATA LWG message sent on an
+  HWG (view minting, join/leave, switch, merge) flushes that HWG's
+  pending batch before it is handed to the ordered channel — data sent
+  before a control message is never reordered after it.
+* **View changes flush first.**  The HWG ``on_stop`` upcall (flush
+  protocol starting) flushes the packer before acknowledging the stop,
+  so buffered payloads reach the ordered channel in the closing view —
+  either ordered before the cut or queued and re-published in the next
+  view by the channel's own pending machinery.
+* **Crash wipes the buffer.**  Fail-stop semantics: payloads buffered at
+  a crashed process are lost exactly like payloads queued in its ordered
+  channel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..naming.records import HwgId
+from .messages import LwgBatch, LwgData
+
+
+class BatchPacker:
+    """Per-HWG time- and byte-bounded coalescing of :class:`LwgData`.
+
+    ``transmit(hwg, message)`` forwards a flushed message (a raw
+    ``LwgData`` for singleton flushes, an ``LwgBatch`` otherwise) to the
+    HWG's ordered channel; ``set_timer(delay_us, callback)`` arms the
+    flush-window timer.
+    """
+
+    def __init__(
+        self,
+        node: str,
+        transmit: Callable[[HwgId, LwgData | LwgBatch], None],
+        set_timer: Callable[[int, Callable[[], None]], object],
+        window_us: int,
+        max_bytes: int,
+    ):
+        self.node = node
+        self._transmit = transmit
+        self._set_timer = set_timer
+        self.window_us = window_us
+        self.max_bytes = max_bytes
+        self._buffers: Dict[HwgId, List[LwgData]] = {}
+        self._buffered_bytes: Dict[HwgId, int] = {}
+        self._timer_armed: Dict[HwgId, bool] = {}
+        self._batch_seq = 0
+        # Counters (surfaced through LwgStats by the service).
+        self.batches_sent = 0
+        self.entries_batched = 0
+        self.singleton_flushes = 0
+
+    # ------------------------------------------------------------------
+    # Enqueue / flush
+    # ------------------------------------------------------------------
+    def enqueue(self, hwg: HwgId, message: LwgData) -> None:
+        """Buffer ``message`` for ``hwg``; flush on byte cap, else arm timer."""
+        buffer = self._buffers.setdefault(hwg, [])
+        buffer.append(message)
+        total = self._buffered_bytes.get(hwg, 0) + message.payload_size
+        self._buffered_bytes[hwg] = total
+        if total >= self.max_bytes:
+            self.flush(hwg)
+            return
+        if not self._timer_armed.get(hwg, False):
+            self._timer_armed[hwg] = True
+            self._set_timer(self.window_us, lambda: self._on_timer(hwg))
+
+    def _on_timer(self, hwg: HwgId) -> None:
+        self._timer_armed[hwg] = False
+        self.flush(hwg)
+
+    def flush(self, hwg: HwgId) -> None:
+        """Emit the pending buffer for ``hwg`` (no-op when empty)."""
+        buffer = self._buffers.get(hwg)
+        if not buffer:
+            return
+        entries, self._buffers[hwg] = buffer, []
+        self._buffered_bytes[hwg] = 0
+        if len(entries) == 1:
+            # No packing win for a singleton: send the bare LwgData and
+            # skip the batch envelope (and the unpack accounting).
+            self.singleton_flushes += 1
+            self._transmit(hwg, entries[0])
+            return
+        self._batch_seq += 1
+        self.batches_sent += 1
+        self.entries_batched += len(entries)
+        batch = LwgBatch(
+            lwg=entries[0].lwg,
+            sender=self.node,
+            batch_seq=self._batch_seq,
+            entries=tuple(entries),
+        )
+        self._transmit(hwg, batch)
+
+    def flush_all(self) -> None:
+        """Flush every HWG's pending buffer (quiesce / shutdown)."""
+        for hwg in sorted(h for h, b in self._buffers.items() if b):
+            self.flush(hwg)
+
+    def reset(self) -> None:
+        """Drop all buffered payloads (fail-stop crash semantics)."""
+        self._buffers.clear()
+        self._buffered_bytes.clear()
+        self._timer_armed.clear()
+
+    def pending_entries(self, hwg: HwgId) -> int:
+        return len(self._buffers.get(hwg, ()))

@@ -45,8 +45,29 @@ class LwgConfig:
     #: (Section 6.3): Figure 5's trigger is DATA traffic, so two quiet
     #: concurrent views co-mapped on one HWG would otherwise never merge.
     announce_period_us: int = 2 * SECOND
+    #: A non-coordinator member that hears nothing from its view's
+    #: coordinator (no announce, no install, no data) for this long
+    #: concludes the view was abandoned — the coordinator moved on via a
+    #: racing switch or asymmetric partition-heal merge — and rejoins
+    #: through the naming service.  The HWG cannot signal this case: the
+    #: coordinator is alive and still an HWG member, it just no longer
+    #: maps this LWG here.  Keep this a few announce periods long.
+    coordinator_silence_us: int = 6 * SECOND
     #: Default payload size assumed for user messages without one.
     default_payload_bytes: int = 256
+    #: Data-path batching: coalesce LWG DATA payloads bound for the same
+    #: HWG into one multicast.  The window/byte cap bound the added
+    #: latency; batches also flush eagerly before any LWG control
+    #: message and before an HWG view change (the flush-before-view-
+    #: change rule, PROTOCOLS.md §15).
+    enable_batching: bool = True
+    #: How long the packer may hold the first buffered payload before
+    #: flushing.  Deliberately *not* scaled by :meth:`scaled` — it bounds
+    #: data latency, not protocol timeouts.
+    batch_window_us: int = 2_000
+    #: Flush immediately once the buffered payload bytes reach this cap
+    #: (keeps batches under transport datagram ceilings).
+    batch_max_bytes: int = 16_384
 
     def scaled(self, factor: float) -> "LwgConfig":
         """A copy with every timer multiplied by ``factor``."""
@@ -58,4 +79,5 @@ class LwgConfig:
             join_claim_us=int(self.join_claim_us * factor),
             switch_timeout_us=int(self.switch_timeout_us * factor),
             announce_period_us=int(self.announce_period_us * factor),
+            coordinator_silence_us=int(self.coordinator_silence_us * factor),
         )

@@ -58,6 +58,10 @@ class LocalLwg:
         self.minted_head: Optional[View] = None
         self.views_installed = 0
         self.delivered = 0
+        #: Last sim time we saw life from our view's coordinator (an
+        #: install, an announce, or its data) — the coordinator-silence
+        #: backstop's clock.
+        self.last_coordinator_heard = 0
 
     @property
     def is_member(self) -> bool:

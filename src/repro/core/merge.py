@@ -49,6 +49,12 @@ class MergeManager:
         self._deferred: Dict[HwgId, List[Tuple[str, object]]] = {}
         #: Monotonic per-HWG token distinguishing rounds for retry timers.
         self._round_token: Dict[HwgId, int] = {}
+        #: hwg -> view ids with an ordered SWITCH-START pending (not yet
+        #: committed or aborted) — see :meth:`observe_switch_start`.
+        self._switching: Dict[HwgId, Set[ViewId]] = {}
+        #: hwg -> view ids whose switch committed: the view left this
+        #: HWG at an ordered cut and must never merge here again.
+        self._departed: Dict[HwgId, Set[ViewId]] = {}
         self.merges_completed = 0
         self.merge_rounds = 0
 
@@ -146,6 +152,52 @@ class MergeManager:
             ):
                 self.trigger(hwg, view.group)
 
+    # ------------------------------------------------------------------
+    # Switch/merge serialisation
+    # ------------------------------------------------------------------
+    # The switch protocol and a merge round can race on the same HWG:
+    # both ride its total order, but the merge's candidate set is frozen
+    # at the flush while a switch moves a view away at its COMMIT.  If
+    # the commit is ordered before the flush, the switching member skips
+    # the merge ("switched away mid-round") while the others would merge
+    # a view whose members are gone — minting a view that only a subset
+    # installs and whose coordinator never announces or registers it: a
+    # permanent stranding (no naming conflict remains to heal it).  The
+    # switch messages are ordered, hence common knowledge: every member
+    # excludes in-flight and departed views from the candidate set
+    # identically.
+    def observe_switch_start(self, hwg: HwgId, view_id: ViewId) -> None:
+        self._switching.setdefault(hwg, set()).add(view_id)
+
+    def observe_switch_abort(self, hwg: HwgId, view_id: ViewId) -> None:
+        self._switching.get(hwg, set()).discard(view_id)
+
+    def observe_switch_commit(self, hwg: HwgId, view_id: ViewId) -> None:
+        self._switching.get(hwg, set()).discard(view_id)
+        self._departed.setdefault(hwg, set()).add(view_id)
+        # Drop it from any collected set too; a straggler ALL-VIEWS may
+        # still re-add it, which is why _merge_one filters as well.
+        per_lwg = self._collected.get(hwg)
+        if per_lwg:
+            for views_by_id in per_lwg.values():
+                views_by_id.pop(view_id, None)
+
+    def observe_view_msg(self, hwg: HwgId, view_id: ViewId) -> None:
+        """An ordered LWG view message for ``view_id`` landed on ``hwg``.
+
+        Only the view's coordinator multicasts these, and the same
+        coordinator multicasts the view's SWITCH-COMMIT — so by
+        sender-FIFO ordering, a view message delivered *after* a commit
+        was sent after it: the view genuinely returned to this HWG
+        (switches can round-trip, e.g. interference policy out,
+        reconciliation back).  Lift the departure block, or the view
+        could never merge here again.
+        """
+        self._departed.get(hwg, set()).discard(view_id)
+
+    def _blocked(self, hwg: HwgId) -> Set[ViewId]:
+        return self._switching.get(hwg, set()) | self._departed.get(hwg, set())
+
     def observe_view(self, hwg: HwgId, view: View) -> None:
         """An ordered LWG view message was delivered during a merge round.
 
@@ -196,7 +248,15 @@ class MergeManager:
         #
         # 1. Views with members that did not survive the flush are left
         #    for the restriction path (a later round unifies the rest).
-        candidates = [v for v in views_by_id.values() if set(v.members) <= alive]
+        #    Views mid-switch or committed away are excluded identically
+        #    at every member (their switch messages are ordered — see
+        #    the serialisation note above).
+        blocked = self._blocked(hwg)
+        candidates = [
+            v
+            for v in views_by_id.values()
+            if set(v.members) <= alive and v.view_id not in blocked
+        ]
         # 2. Intra-set staleness: a collected view that is an ancestor of
         #    another collected view (judged by the parent chains present
         #    in the set itself) is superseded, not concurrent.

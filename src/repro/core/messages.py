@@ -26,6 +26,12 @@ from ..vsync.view import ProcessId, View, ViewId
 #: pays it (Section 3.1's "minimal overhead").
 LWG_HEADER_BYTES = 28
 
+#: Per-entry overhead inside an :class:`LwgBatch`: a length prefix plus
+#: compact lwg/view/sender references.  Much smaller than a full
+#: ``LWG_HEADER_BYTES + HEADER_BYTES`` envelope per message — that
+#: difference is the batching win.
+BATCH_ENTRY_HEADER_BYTES = 12
+
 
 @dataclass(frozen=True)
 class LwgMessage:
@@ -48,6 +54,29 @@ class LwgData(LwgMessage):
 
     def size_bytes(self) -> int:
         return LWG_HEADER_BYTES + self.payload_size
+
+
+@dataclass(frozen=True)
+class LwgBatch(LwgMessage):
+    """Several :class:`LwgData` payloads packed into one HWG multicast.
+
+    All entries were sent by ``sender`` within one flush window and are
+    bound for the same HWG (possibly for different LWGs mapped on it).
+    The batch occupies a single slot in the HWG's total order, so
+    unpacking the entries in tuple order preserves the sender's FIFO
+    order and the group-wide total order.  ``batch_seq`` is a per-sender
+    counter used by the batch-accounting checker; ``lwg`` is the first
+    entry's group (tracing only — receivers demultiplex per entry).
+    """
+
+    sender: ProcessId = ""
+    batch_seq: int = 0
+    entries: Tuple[LwgData, ...] = ()
+
+    def size_bytes(self) -> int:
+        return LWG_HEADER_BYTES + sum(
+            BATCH_ENTRY_HEADER_BYTES + e.payload_size for e in self.entries
+        )
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from ..naming.records import HwgId, LwgId, MappingRecord
 from ..vsync.hwg import HwgEndpoint, HwgListener
 from ..vsync.membership import EndpointState
 from ..vsync.view import View, ViewId
+from .batching import BatchPacker
 from .config import LwgConfig
 from .ids import lwg_id as canonical_lwg_id
 from .ids import mint_hwg_id
@@ -40,6 +41,7 @@ from .mapping_table import LocalLwg, LwgState, MappingTable
 from .merge import MergeManager, ReconciliationHandler
 from .messages import (
     AllViewsMsg,
+    LwgBatch,
     LwgData,
     LwgDissolved,
     LwgJoinReq,
@@ -121,6 +123,10 @@ class LwgStats:
     data_delivered: int = 0
     data_filtered: int = 0
     data_stale: int = 0
+    batches_sent: int = 0
+    batch_entries_sent: int = 0
+    batches_unpacked: int = 0
+    batch_entries_unpacked: int = 0
     lwg_views_installed: int = 0
     switches_started: int = 0
     switches_committed: int = 0
@@ -142,8 +148,12 @@ class _HwgAdapter(HwgListener):
         self.service._on_hwg_data(self.hwg, src, payload, size)
 
     def on_stop(self, group, stop_ok) -> None:
-        # The LWG layer keeps nothing in flight outside the HWG's own
-        # ordered channel, so the flush may proceed immediately.
+        # Flush-before-view-change: hand any payloads still sitting in
+        # the batch packer to the ordered channel of the closing view —
+        # they are either ordered before the cut or queued and
+        # re-published in the next view.  Beyond that the LWG layer
+        # keeps nothing in flight outside the channel itself.
+        self.service.packer.flush(self.hwg)
         stop_ok()
 
     def on_left(self, group) -> None:
@@ -171,6 +181,13 @@ class LwgService:
         self.reconciler = ReconciliationHandler(self)
         self.policy_engine = PolicyEngine(self.config)
         self.stats = LwgStats()
+        self.packer = BatchPacker(
+            node=self.node,
+            transmit=self._transmit_packed,
+            set_timer=stack.set_timer,
+            window_us=self.config.batch_window_us,
+            max_bytes=self.config.batch_max_bytes,
+        )
         self._join_drivers: Dict[LwgId, JoinDriver] = {}
         self._switch_drivers: Dict[LwgId, SwitchDriver] = {}
         self._hwg_counter = 0
@@ -205,6 +222,7 @@ class LwgService:
             driver.cancel()
         self._join_drivers.clear()
         self._switch_drivers.clear()
+        self.packer.reset()
         self.table = MappingTable()
         self.merge_mgr = MergeManager(self)
         self._hwg_last_views.clear()
@@ -296,7 +314,29 @@ class LwgService:
             payload=payload,
             payload_size=size,
         )
-        self.hwg_send(local.hwg, message)
+        if self.config.enable_batching:
+            self.packer.enqueue(local.hwg, message)
+        else:
+            self.hwg_send(local.hwg, message)
+
+    def _transmit_packed(self, hwg: HwgId, message: Any) -> None:
+        """Packer flush sink: hand one LwgData/LwgBatch to the channel.
+
+        Deliberately does *not* go through :meth:`hwg_send`, whose
+        flush-before-control rule would recurse into the packer.
+        """
+        if isinstance(message, LwgBatch):
+            self.stats.batches_sent += 1
+            self.stats.batch_entries_sent += len(message.entries)
+            if self.env.tracer.enabled("lwg"):
+                self.trace(
+                    "batch_sent",
+                    hwg=hwg,
+                    batch_seq=message.batch_seq,
+                    entries=len(message.entries),
+                )
+        endpoint = self.ensure_hwg(hwg)
+        endpoint.send(message, message.size_bytes())
 
     # ==================================================================
     # Helpers used across the service and its drivers
@@ -332,6 +372,9 @@ class LwgService:
         return self.stack.endpoints.get(hwg)
 
     def hwg_send(self, hwg: HwgId, message: LwgMessage) -> None:
+        # Control-messages-flush-first: data buffered before this control
+        # message must not be reordered after it in the HWG total order.
+        self.packer.flush(hwg)
         endpoint = self.ensure_hwg(hwg)
         endpoint.send(message, message.size_bytes())
 
@@ -344,6 +387,8 @@ class LwgService:
     def _on_hwg_data(self, hwg: HwgId, src: str, payload: Any, size: int) -> None:
         if isinstance(payload, LwgData):
             self._on_lwg_data(hwg, payload)
+        elif isinstance(payload, LwgBatch):
+            self._on_lwg_batch(hwg, payload)
         elif isinstance(payload, LwgViewMsg):
             self._on_lwg_view_msg(hwg, payload)
         elif isinstance(payload, LwgJoinReq):
@@ -368,6 +413,26 @@ class LwgService:
             self._on_switch_abort(hwg, payload)
 
     # -- data path -------------------------------------------------------
+    def _on_lwg_batch(self, hwg: HwgId, batch: LwgBatch) -> None:
+        """Demultiplex a packed multicast: one LwgData at a time, in order.
+
+        Each entry runs the full per-message delivery machinery (view
+        filtering, state-transfer buffering, stale restamp, merge
+        triggering) exactly as if it had arrived unbatched.
+        """
+        self.stats.batches_unpacked += 1
+        self.stats.batch_entries_unpacked += len(batch.entries)
+        if self.env.tracer.enabled("lwg"):
+            self.trace(
+                "batch_unpacked",
+                hwg=hwg,
+                sender=batch.sender,
+                batch_seq=batch.batch_seq,
+                entries=len(batch.entries),
+            )
+        for entry in batch.entries:
+            self._on_lwg_data(hwg, entry)
+
     def _on_lwg_data(self, hwg: HwgId, message: LwgData) -> None:
         local = self.table.local(message.lwg)
         if local is None or not local.is_member or local.hwg != hwg:
@@ -383,6 +448,8 @@ class LwgService:
                 return
             self.stats.data_delivered += 1
             local.delivered += 1
+            if message.sender == local.coordinator():
+                local.last_coordinator_heard = self.env.now
             self.trace(
                 "lwg_data_delivered",
                 lwg=message.lwg,
@@ -413,6 +480,9 @@ class LwgService:
         # Keep an active merge round's collected set complete: ordered
         # view messages are common knowledge at the coming flush point.
         self.merge_mgr.observe_view(hwg, view)
+        # And lift any departure block: a view message delivered after a
+        # SWITCH-COMMIT proves the view returned to this HWG.
+        self.merge_mgr.observe_view_msg(hwg, view.view_id)
         local = self.table.local(view.group)
         if local is not None and local.view is not None and local.state in (
             LwgState.MEMBER,
@@ -420,6 +490,15 @@ class LwgService:
         ):
             current = local.view
             if view.view_id == current.view_id:
+                if local.hwg == hwg:
+                    # Our coordinator's (re-)announce on the HWG we map
+                    # the view on: the view is alive.  An announce on a
+                    # *different* HWG deliberately does not count — it
+                    # means our mapping diverged from the coordinator's
+                    # (e.g. a switch committed asymmetrically across a
+                    # partition heal), which is exactly what the
+                    # coordinator-silence backstop must detect.
+                    local.last_coordinator_heard = self.env.now
                 directory.record_view(view)
                 return
             if local.ancestors.is_stale(view.view_id):
@@ -572,6 +651,7 @@ class LwgService:
         local.view = view
         local.minted_head = None
         local.views_installed += 1
+        local.last_coordinator_heard = self.env.now
         self.stats.lwg_views_installed += 1
         if local.hwg is not None:
             self.table.dir_for(local.hwg).record_view(view)
@@ -749,6 +829,9 @@ class LwgService:
         driver.start()
 
     def _on_switch_start(self, hwg: HwgId, message: SwitchStart) -> None:
+        # Ordered at every HWG member: mark the view switch-in-flight so
+        # a concurrent merge round excludes it (see MergeManager).
+        self.merge_mgr.observe_switch_start(hwg, message.view_id)
         local = self.table.local(message.lwg)
         if (
             local is None
@@ -804,14 +887,39 @@ class LwgService:
             driver.on_ready(message)
 
     def _on_switch_commit(self, hwg: HwgId, message: SwitchCommit) -> None:
+        # Ordered cut: the view left this HWG — no merge round here may
+        # ever include it again (see MergeManager serialisation note).
+        self.merge_mgr.observe_switch_commit(hwg, message.view_id)
         local = self.table.local(message.lwg)
         directory = self.table.dir_for(hwg)
+        # A commit whose epoch we no longer track can still bind us: if
+        # our stale guard gave up on a slow (not dead) switch
+        # coordinator and resumed on the old HWG, the commit for our
+        # *current* view arriving afterwards is the real cut — it is
+        # totally ordered on this HWG, and the other members moved at
+        # it.  Ignoring it would strand us on an HWG where nobody
+        # listens to this LWG anymore (and the naming record of our
+        # branch is garbage-collected once the movers merge, so no
+        # MULTIPLE-MAPPINGS conflict would ever pull us back).
+        late_commit = (
+            local is not None
+            and local.switch_epoch is None
+            and local.view is not None
+            and local.view.view_id == message.view_id
+        )
         if (
             local is not None
             and local.state in (LwgState.MEMBER, LwgState.LEAVING)
             and local.hwg == hwg
-            and local.switch_epoch == message.epoch
+            and (local.switch_epoch == message.epoch or late_commit)
         ):
+            if late_commit:
+                self.trace(
+                    "switch_commit_late",
+                    lwg=message.lwg,
+                    to_hwg=message.to_hwg,
+                    epoch=message.epoch,
+                )
             local.hwg = message.to_hwg
             self._clear_switch_state(local)
             directory.remove_lwg(message.lwg, forward_to=message.to_hwg)
@@ -841,6 +949,7 @@ class LwgService:
             directory.remove_lwg(message.lwg, forward_to=message.to_hwg)
 
     def _on_switch_abort(self, hwg: HwgId, message: SwitchAbort) -> None:
+        self.merge_mgr.observe_switch_abort(hwg, message.view_id)
         local = self.table.local(message.lwg)
         if local is not None and local.switch_epoch == message.epoch:
             self._resume_after_failed_switch(local)
@@ -1001,6 +1110,30 @@ class LwgService:
                 local.hwg,
                 LwgViewMsg(lwg=local.lwg, view=local.view, announce=True),
             )
+        # Coordinator-silence backstop: a member whose coordinator has
+        # gone quiet for several announce periods is holding an
+        # abandoned view (the coordinator adopted a different lineage
+        # via a racing switch or an asymmetric partition-heal merge, so
+        # it will never announce — or tombstone — this one).  The HWG
+        # layer cannot flag it: the coordinator is alive and still an
+        # HWG member.  Rejoin through the naming service.
+        now = self.env.now
+        for local in list(self.table.locals.values()):
+            if (
+                not local.is_member
+                or local.switch_epoch is not None
+                or local.hwg is None
+                or local.coordinator() == self.node
+            ):
+                continue
+            if now - local.last_coordinator_heard >= self.config.coordinator_silence_us:
+                self.trace(
+                    "coordinator_silence",
+                    lwg=local.lwg,
+                    hwg=local.hwg,
+                    view=str(local.view.view_id) if local.view else None,
+                )
+                self._forced_out(local, local.hwg)
 
     def _leave_hwg_if_unused(self, hwg: HwgId) -> None:
         if hwg in self.table.hwgs_in_use():

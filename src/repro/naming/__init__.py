@@ -11,7 +11,12 @@ from .client import NamingClient
 from .database import NamingDatabase
 from .messages import MultipleMappings, NsRequest, NsResponse
 from .records import HwgId, LwgId, MappingRecord
-from .reconciliation import ReconcileResult, absorb, databases_consistent
+from .reconciliation import (
+    ReconcileResult,
+    absorb,
+    databases_consistent,
+    databases_identical,
+)
 from .server import NameServer
 
 __all__ = [
@@ -27,5 +32,6 @@ __all__ = [
     "ReconcileResult",
     "absorb",
     "databases_consistent",
+    "databases_identical",
     "NameServer",
 ]

@@ -11,6 +11,7 @@ must be aware of the partial order of views").
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..vsync.view import ViewGenealogy, ViewId
@@ -29,6 +30,8 @@ class NamingDatabase:
         #: invariant checking; None-safe no-ops by default).
         self.on_edge: Optional[Callable[[ViewId, Tuple[ViewId, ...]], None]] = None
         self.on_gc: Optional[Callable[[LwgId, ViewId, ViewId], None]] = None
+        #: Cached :meth:`content_hash`; every mutation path clears it.
+        self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -47,12 +50,14 @@ class NamingDatabase:
         parents = tuple(parents)
         if parents:
             self.genealogy.record(record.lwg_view, parents)
+            self._content_hash = None
             if self.on_edge is not None:
                 self.on_edge(record.lwg_view, parents)
         existing = self._records.get(record.key)
         if existing is not None and not record.newer_than(existing):
             return False
         self._records[record.key] = record
+        self._content_hash = None
         self.applied += 1
         self.garbage_collect(record.lwg)
         return True
@@ -81,6 +86,7 @@ class NamingDatabase:
                 )
                 if witness is not None:
                     del self._records[key]
+                    self._content_hash = None
                     removed += 1
                     if self.on_gc is not None:
                         self.on_gc(target, view, witness)
@@ -133,6 +139,25 @@ class NamingDatabase:
         """Compact summary for anti-entropy: key -> LWW order key."""
         return {k: r.order_key() for k, r in self._records.items()}
 
+    def content_hash(self) -> str:
+        """Digest-of-digests over records *and* genealogy.
+
+        Two replicas with equal hashes hold byte-identical databases, so
+        a gossip exchange between them has nothing to ship — the server
+        uses this to short-circuit steady-state anti-entropy to a single
+        small request/reply pair instead of two full digests.  Cached;
+        every mutation path invalidates.
+        """
+        if self._content_hash is None:
+            hasher = hashlib.sha256()
+            for key in sorted(self._records):
+                hasher.update(repr((key, self._records[key].order_key())).encode())
+            edges = self.genealogy.edges()
+            for child in sorted(edges):
+                hasher.update(repr((child, edges[child])).encode())
+            self._content_hash = hasher.hexdigest()
+        return self._content_hash
+
     def records_missing_from(self, digest: Dict[RecordKey, tuple]) -> List[MappingRecord]:
         """Records we hold that the digest lacks or holds older."""
         out = []
@@ -146,6 +171,8 @@ class NamingDatabase:
         return self.genealogy.edges()
 
     def absorb_genealogy(self, edges: Dict[ViewId, Tuple[ViewId, ...]]) -> None:
+        if edges:
+            self._content_hash = None
         for child, parents in edges.items():
             self.genealogy.record(child, parents)
             if self.on_edge is not None and parents:

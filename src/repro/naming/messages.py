@@ -55,20 +55,30 @@ class NsResponse(NamingMessage):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SyncRequest(NamingMessage):
-    """Server A -> server B: my digest; tell me what I'm missing."""
+    """Server A -> server B: my digest; tell me what I'm missing.
+
+    ``db_hash`` summarises A's whole database (records + genealogy); a
+    replica holding an identical database answers with an ``in_sync``
+    reply and the exchange ends after two small messages.
+    """
 
     sender: ProcessId = ""
     sync_id: int = 0
     digest: Dict[RecordKey, Tuple[int, str]] = field(default_factory=dict)
     genealogy_children: Tuple[ViewId, ...] = ()
+    db_hash: str = ""
 
     def size_bytes(self) -> int:
-        return 96 + 48 * len(self.digest) + 16 * len(self.genealogy_children)
+        return 128 + 48 * len(self.digest) + 16 * len(self.genealogy_children)
 
 
 @dataclass(frozen=True)
 class SyncReply(NamingMessage):
-    """B -> A: records/edges A lacks, plus B's digest so A can push back."""
+    """B -> A: records/edges A lacks, plus B's digest so A can push back.
+
+    When ``in_sync`` is set the databases already match and every other
+    payload field is empty — the reply is just a hash acknowledgement.
+    """
 
     sender: ProcessId = ""
     sync_id: int = 0
@@ -76,8 +86,11 @@ class SyncReply(NamingMessage):
     genealogy: Dict[ViewId, Tuple[ViewId, ...]] = field(default_factory=dict)
     digest: Dict[RecordKey, Tuple[int, str]] = field(default_factory=dict)
     genealogy_children: Tuple[ViewId, ...] = ()
+    in_sync: bool = False
 
     def size_bytes(self) -> int:
+        if self.in_sync:
+            return 96
         return 96 + 96 * len(self.records) + 48 * len(self.digest)
 
 

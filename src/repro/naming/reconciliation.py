@@ -81,3 +81,14 @@ def databases_consistent(replicas: Iterable[NamingDatabase]) -> bool:
     """True if every replica stores exactly the same records (test helper)."""
     snapshots = [tuple(db.snapshot()) for db in replicas]
     return all(s == snapshots[0] for s in snapshots[1:])
+
+
+def databases_identical(replicas: Iterable[NamingDatabase]) -> bool:
+    """Stronger than :func:`databases_consistent`: byte-identical replicas.
+
+    Compares full content hashes, so tombstones and genealogy knowledge
+    must match too — the fixed point at which anti-entropy exchanges
+    short-circuit to hash acknowledgements.
+    """
+    hashes = [db.content_hash() for db in replicas]
+    return all(h == hashes[0] for h in hashes[1:])

@@ -61,6 +61,7 @@ class NameServer(Process):
         self._sync_counter = 0
         self.requests_served = 0
         self.syncs_started = 0
+        self.syncs_short_circuited = 0
         if self.peers:
             self.set_periodic(gossip_period_us, self.gossip_tick, jitter_stream=f"ns:{node}")
         self.set_periodic(renotify_period_us, self._notifier_tick)
@@ -134,10 +135,17 @@ class NameServer(Process):
             sync_id=self._sync_counter,
             digest=self.db.digest(),
             genealogy_children=tuple(self.db.genealogy_edges()),
+            db_hash=self.db.content_hash(),
         )
         self.send(peer, request, request.size_bytes())
 
     def _on_sync_request(self, src: NodeId, msg: SyncRequest) -> None:
+        if msg.db_hash and msg.db_hash == self.db.content_hash():
+            # Identical databases: nothing to ship in either direction.
+            self.syncs_short_circuited += 1
+            ack = SyncReply(sender=self.node, sync_id=msg.sync_id, in_sync=True)
+            self.send(src, ack, ack.size_bytes())
+            return
         reply = SyncReply(
             sender=self.node,
             sync_id=msg.sync_id,
@@ -149,6 +157,8 @@ class NameServer(Process):
         self.send(src, reply, reply.size_bytes())
 
     def _on_sync_reply(self, src: NodeId, msg: SyncReply) -> None:
+        if msg.in_sync:
+            return
         self._absorb_remote(msg.records, msg.genealogy)
         update = SyncUpdate(
             sender=self.node,

@@ -32,7 +32,6 @@ Design notes:
 from __future__ import annotations
 
 import asyncio
-import pickle
 import socket
 import time
 from typing import (
@@ -48,6 +47,7 @@ from typing import (
     Tuple,
 )
 
+from .codec import DatagramCodec, OversizeDatagramError, PickleCodec, make_codec
 from .interfaces import Addressing, DeliveryCallback, NodeId
 from .rng import RngRegistry
 from .trace import Tracer
@@ -130,9 +130,11 @@ class UdpFabric:
     configuration at all.  For multi-process operation every process is
     given the same full map and attaches only its local nodes.
 
-    Datagrams carry ``pickle.dumps((src, payload, size))``.  The payload
-    objects are the protocol messages themselves — module-level
-    dataclasses, picklable by construction.
+    Datagrams carry ``(src, payload, size)`` framed by the fabric's
+    ``codec`` — blanket pickle by default, or the compact tag-length-
+    value format of :mod:`repro.runtime.codec`.  Decoding dispatches on
+    the frame's magic byte, so processes running different codecs on one
+    fabric still interoperate.
     """
 
     #: Conservative ceiling under the 64 KiB UDP datagram limit.
@@ -146,10 +148,12 @@ class UdpFabric:
         tracer: Tracer,
         node_addrs: Optional[Dict[NodeId, HostPort]] = None,
         host: str = "127.0.0.1",
+        codec: Optional[DatagramCodec] = None,
     ):
         self._loop = loop
         self.tracer = tracer
         self.host = host
+        self.codec: DatagramCodec = codec if codec is not None else PickleCodec()
         #: Known endpoints, local and remote.  Updated as nodes attach.
         self.addrs: Dict[NodeId, HostPort] = dict(node_addrs or {})
         self._sockets: Dict[NodeId, socket.socket] = {}
@@ -271,12 +275,9 @@ class UdpFabric:
     # Transmission
     # ------------------------------------------------------------------
     def _encode(self, src: NodeId, payload: Any, size: int) -> bytes:
-        data = pickle.dumps((src, payload, size), protocol=pickle.HIGHEST_PROTOCOL)
+        data = self.codec.encode(src, payload, size)
         if len(data) > self.MAX_DATAGRAM:
-            raise ValueError(
-                f"payload from {src!r} pickles to {len(data)} bytes, "
-                f"over the {self.MAX_DATAGRAM}-byte datagram ceiling"
-            )
+            raise OversizeDatagramError(src, len(data), self.MAX_DATAGRAM)
         return data
 
     def _tx_socket(self, src: NodeId) -> socket.socket:
@@ -342,7 +343,7 @@ class UdpFabric:
             except OSError:
                 return  # socket closed under us during teardown
             try:
-                src, payload, size = pickle.loads(data)
+                src, payload, size = self.codec.decode(data)
             except Exception:
                 self.messages_dropped += 1
                 continue
@@ -452,17 +453,22 @@ class AsyncioRuntime:
         keep_trace: bool = True,
         epoch: Optional[float] = None,
         host: str = "127.0.0.1",
+        codec: str = "pickle",
     ) -> "AsyncioRuntime":
         """Build a fresh real-time runtime.
 
         Pass the same ``epoch`` (a ``time.monotonic()`` value) and
-        ``node_addrs`` map to every cooperating OS process.
+        ``node_addrs`` map to every cooperating OS process.  ``codec``
+        picks the datagram wire format (``pickle`` or ``compact``);
+        receivers understand both, so processes need not agree.
         """
         loop = asyncio.new_event_loop()
         clock = WallClock(epoch)
         rng = RngRegistry(seed)
         tracer = Tracer(clock=lambda: clock.now, keep_records=keep_trace)
-        fabric = UdpFabric(loop, tracer, node_addrs=node_addrs, host=host)
+        fabric = UdpFabric(
+            loop, tracer, node_addrs=node_addrs, host=host, codec=make_codec(codec)
+        )
         failures = LocalFailures(fabric)
         return cls(loop, clock, fabric, rng, tracer, failures)
 

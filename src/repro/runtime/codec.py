@@ -1,0 +1,405 @@
+"""Datagram codecs for the real-time backend's UDP fabric.
+
+The fabric originally pickled every datagram.  Pickle is convenient —
+protocol messages are module-level dataclasses, picklable by
+construction — but it is also the single biggest per-datagram CPU cost
+on the hot path, and its frames carry class paths and field names that
+the receiver already knows.  :class:`CompactCodec` replaces it with a
+versioned tag-length-value encoding for the high-rate message types
+(LWG ``DATA``, LWG batches, the ordered data path and its stability
+acks) and keeps pickle as the fallback for the long tail of control
+messages, which are rare enough that convenience wins.
+
+Framing (network byte order throughout)::
+
+    magic 0xC7 | version 0x01 | src: u16 len + utf8 | size: u32 | value
+
+``value`` is one tag byte followed by a tag-specific body; composite
+values (tuples, message dataclasses, the payloads nested inside them)
+recurse.  The magic byte is disjoint from the first byte of every
+pickle protocol-2+ frame (``0x80``), so :func:`decode_datagram` can
+dispatch on it — a compact-codec process and a pickle-codec process on
+the same fabric still understand each other, which keeps mixed-version
+demos and rolling codec migrations safe.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..core.messages import LwgBatch, LwgData
+from ..vsync.messages import Ordered, Publish, StabilityAck
+from ..vsync.view import ViewId
+from .interfaces import NodeId
+
+MAGIC = 0xC7
+VERSION = 1
+
+# Value tags.
+_NONE = 0x00
+_TRUE = 0x01
+_FALSE = 0x02
+_INT = 0x03
+_STR = 0x04
+_BYTES = 0x05
+_TUPLE = 0x06
+_VIEW_ID = 0x07
+_LWG_DATA = 0x10
+_LWG_BATCH = 0x11
+_PUBLISH = 0x12
+_ORDERED = 0x13
+_STABILITY_ACK = 0x14
+_PICKLE = 0x7F
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_I64 = struct.Struct("!q")
+
+
+class CodecError(ValueError):
+    """A datagram could not be decoded (truncated, bad tag, bad magic)."""
+
+
+class OversizeDatagramError(ValueError):
+    """An encoded datagram exceeds the fabric's ceiling.
+
+    Carries the measured size so callers can report or split; raised by
+    the fabric (which owns the ceiling), not by the codecs themselves.
+    """
+
+    def __init__(self, src: NodeId, encoded_bytes: int, limit: int):
+        super().__init__(
+            f"payload from {src!r} encodes to {encoded_bytes} bytes, "
+            f"over the {limit}-byte datagram ceiling"
+        )
+        self.src = src
+        self.encoded_bytes = encoded_bytes
+        self.limit = limit
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+def _w_str(out: List[bytes], text: str) -> None:
+    raw = text.encode("utf-8")
+    out.append(_U32.pack(len(raw)))
+    out.append(raw)
+
+
+def _w_view_id(out: List[bytes], view_id: ViewId) -> None:
+    _w_str(out, view_id.coordinator)
+    out.append(_I64.pack(view_id.seq))
+
+
+def _w_lwg_data_body(out: List[bytes], message: LwgData) -> None:
+    _w_str(out, message.lwg)
+    _w_view_id(out, message.view_id)
+    _w_str(out, message.sender)
+    _w_value(out, message.payload)
+    out.append(_I64.pack(message.payload_size))
+
+
+def _w_value(out: List[bytes], value: Any) -> None:
+    kind = type(value)
+    if value is None:
+        out.append(bytes((_NONE,)))
+    elif kind is bool:
+        out.append(bytes((_TRUE if value else _FALSE,)))
+    elif kind is int and _I64_MIN <= value <= _I64_MAX:
+        out.append(bytes((_INT,)))
+        out.append(_I64.pack(value))
+    elif kind is str:
+        out.append(bytes((_STR,)))
+        _w_str(out, value)
+    elif kind is bytes:
+        out.append(bytes((_BYTES,)))
+        out.append(_U32.pack(len(value)))
+        out.append(value)
+    elif kind is tuple:
+        out.append(bytes((_TUPLE,)))
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _w_value(out, item)
+    elif kind is ViewId:
+        out.append(bytes((_VIEW_ID,)))
+        _w_view_id(out, value)
+    elif kind is LwgData:
+        out.append(bytes((_LWG_DATA,)))
+        _w_lwg_data_body(out, value)
+    elif kind is LwgBatch:
+        out.append(bytes((_LWG_BATCH,)))
+        _w_str(out, value.lwg)
+        _w_str(out, value.sender)
+        out.append(_I64.pack(value.batch_seq))
+        out.append(_U32.pack(len(value.entries)))
+        for entry in value.entries:
+            _w_lwg_data_body(out, entry)
+    elif kind is Publish:
+        out.append(bytes((_PUBLISH,)))
+        _w_str(out, value.group)
+        _w_view_id(out, value.view_id)
+        _w_str(out, value.sender)
+        out.append(_I64.pack(value.sender_seq))
+        _w_value(out, value.payload)
+        out.append(_I64.pack(value.payload_size))
+        out.append(_I64.pack(value.acked_upto))
+    elif kind is Ordered:
+        out.append(bytes((_ORDERED,)))
+        _w_str(out, value.group)
+        _w_view_id(out, value.view_id)
+        out.append(_I64.pack(value.seq))
+        _w_str(out, value.sender)
+        out.append(_I64.pack(value.sender_seq))
+        _w_value(out, value.payload)
+        out.append(_I64.pack(value.payload_size))
+        out.append(_I64.pack(value.stable_floor))
+    elif kind is StabilityAck:
+        out.append(bytes((_STABILITY_ACK,)))
+        _w_str(out, value.group)
+        _w_view_id(out, value.view_id)
+        _w_str(out, value.member)
+        out.append(_I64.pack(value.delivered_upto))
+    else:
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        out.append(bytes((_PICKLE,)))
+        out.append(_U32.pack(len(raw)))
+        out.append(raw)
+
+
+# ----------------------------------------------------------------------
+# Value decoding
+# ----------------------------------------------------------------------
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise CodecError(
+            f"truncated datagram: need {count} bytes at offset {offset}, "
+            f"have {len(data) - offset}"
+        )
+
+
+def _r_str(data: bytes, offset: int) -> Tuple[str, int]:
+    _need(data, offset, 4)
+    (length,) = _U32.unpack_from(data, offset)
+    offset += 4
+    _need(data, offset, length)
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+def _r_i64(data: bytes, offset: int) -> Tuple[int, int]:
+    _need(data, offset, 8)
+    (value,) = _I64.unpack_from(data, offset)
+    return value, offset + 8
+
+
+def _r_u32(data: bytes, offset: int) -> Tuple[int, int]:
+    _need(data, offset, 4)
+    (value,) = _U32.unpack_from(data, offset)
+    return value, offset + 4
+
+
+def _r_view_id(data: bytes, offset: int) -> Tuple[ViewId, int]:
+    coordinator, offset = _r_str(data, offset)
+    seq, offset = _r_i64(data, offset)
+    return ViewId(coordinator, seq), offset
+
+
+def _r_lwg_data_body(data: bytes, offset: int) -> Tuple[LwgData, int]:
+    lwg, offset = _r_str(data, offset)
+    view_id, offset = _r_view_id(data, offset)
+    sender, offset = _r_str(data, offset)
+    payload, offset = _r_value(data, offset)
+    payload_size, offset = _r_i64(data, offset)
+    return (
+        LwgData(
+            lwg=lwg, view_id=view_id, sender=sender,
+            payload=payload, payload_size=payload_size,
+        ),
+        offset,
+    )
+
+
+def _r_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    _need(data, offset, 1)
+    tag = data[offset]
+    offset += 1
+    if tag == _NONE:
+        return None, offset
+    if tag == _TRUE:
+        return True, offset
+    if tag == _FALSE:
+        return False, offset
+    if tag == _INT:
+        return _r_i64(data, offset)
+    if tag == _STR:
+        return _r_str(data, offset)
+    if tag == _BYTES:
+        length, offset = _r_u32(data, offset)
+        _need(data, offset, length)
+        return data[offset : offset + length], offset + length
+    if tag == _TUPLE:
+        count, offset = _r_u32(data, offset)
+        items: List[Any] = []
+        for _ in range(count):
+            item, offset = _r_value(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    if tag == _VIEW_ID:
+        return _r_view_id(data, offset)
+    if tag == _LWG_DATA:
+        return _r_lwg_data_body(data, offset)
+    if tag == _LWG_BATCH:
+        lwg, offset = _r_str(data, offset)
+        sender, offset = _r_str(data, offset)
+        batch_seq, offset = _r_i64(data, offset)
+        count, offset = _r_u32(data, offset)
+        entries: List[LwgData] = []
+        for _ in range(count):
+            entry, offset = _r_lwg_data_body(data, offset)
+            entries.append(entry)
+        return (
+            LwgBatch(
+                lwg=lwg, sender=sender, batch_seq=batch_seq,
+                entries=tuple(entries),
+            ),
+            offset,
+        )
+    if tag == _PUBLISH:
+        group, offset = _r_str(data, offset)
+        view_id, offset = _r_view_id(data, offset)
+        sender, offset = _r_str(data, offset)
+        sender_seq, offset = _r_i64(data, offset)
+        payload, offset = _r_value(data, offset)
+        payload_size, offset = _r_i64(data, offset)
+        acked_upto, offset = _r_i64(data, offset)
+        return (
+            Publish(
+                group=group, view_id=view_id, sender=sender,
+                sender_seq=sender_seq, payload=payload,
+                payload_size=payload_size, acked_upto=acked_upto,
+            ),
+            offset,
+        )
+    if tag == _ORDERED:
+        group, offset = _r_str(data, offset)
+        view_id, offset = _r_view_id(data, offset)
+        seq, offset = _r_i64(data, offset)
+        sender, offset = _r_str(data, offset)
+        sender_seq, offset = _r_i64(data, offset)
+        payload, offset = _r_value(data, offset)
+        payload_size, offset = _r_i64(data, offset)
+        stable_floor, offset = _r_i64(data, offset)
+        return (
+            Ordered(
+                group=group, view_id=view_id, seq=seq, sender=sender,
+                sender_seq=sender_seq, payload=payload,
+                payload_size=payload_size, stable_floor=stable_floor,
+            ),
+            offset,
+        )
+    if tag == _STABILITY_ACK:
+        group, offset = _r_str(data, offset)
+        view_id, offset = _r_view_id(data, offset)
+        member, offset = _r_str(data, offset)
+        delivered_upto, offset = _r_i64(data, offset)
+        return (
+            StabilityAck(
+                group=group, view_id=view_id, member=member,
+                delivered_upto=delivered_upto,
+            ),
+            offset,
+        )
+    if tag == _PICKLE:
+        length, offset = _r_u32(data, offset)
+        _need(data, offset, length)
+        return pickle.loads(data[offset : offset + length]), offset + length
+    raise CodecError(f"unknown value tag 0x{tag:02x} at offset {offset - 1}")
+
+
+# ----------------------------------------------------------------------
+# Datagram framing
+# ----------------------------------------------------------------------
+def encode_compact(src: NodeId, payload: Any, size: int) -> bytes:
+    """Frame one datagram in the compact format."""
+    out: List[bytes] = [bytes((MAGIC, VERSION))]
+    raw_src = src.encode("utf-8")
+    out.append(_U16.pack(len(raw_src)))
+    out.append(raw_src)
+    out.append(_U32.pack(size))
+    _w_value(out, payload)
+    return b"".join(out)
+
+
+def decode_datagram(data: bytes) -> Tuple[NodeId, Any, int]:
+    """Decode a datagram in either wire format (dispatch on magic byte)."""
+    if not data:
+        raise CodecError("empty datagram")
+    if data[0] != MAGIC:
+        try:
+            src, payload, size = pickle.loads(data)
+        except Exception as exc:
+            raise CodecError(f"undecodable datagram: {exc}") from exc
+        return src, payload, size
+    _need(data, 0, 2)
+    if data[1] != VERSION:
+        raise CodecError(f"unsupported compact-codec version {data[1]}")
+    offset = 2
+    _need(data, offset, 2)
+    (src_len,) = _U16.unpack_from(data, offset)
+    offset += 2
+    _need(data, offset, src_len)
+    src = data[offset : offset + src_len].decode("utf-8")
+    offset += src_len
+    size, offset = _r_u32(data, offset)
+    payload, offset = _r_value(data, offset)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after payload")
+    return src, payload, size
+
+
+class PickleCodec:
+    """The original blanket-pickle wire format."""
+
+    name = "pickle"
+
+    def encode(self, src: NodeId, payload: Any, size: int) -> bytes:
+        return pickle.dumps((src, payload, size), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> Tuple[NodeId, Any, int]:
+        return decode_datagram(data)
+
+
+class CompactCodec:
+    """Tag-length-value encoding for hot messages, pickle for the rest."""
+
+    name = "compact"
+
+    def encode(self, src: NodeId, payload: Any, size: int) -> bytes:
+        return encode_compact(src, payload, size)
+
+    def decode(self, data: bytes) -> Tuple[NodeId, Any, int]:
+        return decode_datagram(data)
+
+
+#: Either codec satisfies the fabric's needs; both decode both formats.
+DatagramCodec = PickleCodec | CompactCodec
+
+_CODECS: Dict[str, Callable[[], DatagramCodec]] = {
+    "pickle": PickleCodec,
+    "compact": CompactCodec,
+}
+
+
+def make_codec(name: str) -> DatagramCodec:
+    """Codec instance by CLI name (``pickle`` or ``compact``)."""
+    try:
+        factory = _CODECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {name!r}; expected one of {sorted(_CODECS)}"
+        ) from None
+    return factory()

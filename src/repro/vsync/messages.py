@@ -97,6 +97,10 @@ class Publish(VsyncMessage):
     sender_seq: int = 0  # per-sender dedup counter
     payload: Any = None
     payload_size: int = 0
+    #: Piggybacked stability ack: the sender's contiguous delivered
+    #: prefix at publish time.  Saves the periodic standalone
+    #: :class:`StabilityAck` whenever the member is actively sending.
+    acked_upto: int = -1
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + self.payload_size
@@ -112,6 +116,12 @@ class Ordered(VsyncMessage):
     sender_seq: int = 0
     payload: Any = None
     payload_size: int = 0
+    #: Piggybacked stability floor: the sequencer's ``stable_upto`` when
+    #: this message was ordered.  Receivers prune their logs from it, so
+    #: standalone :class:`StabilityAnnounce` messages are only needed on
+    #: idle channels.  Retransmissions carry the floor of first emission;
+    #: the receiver-side monotone guard makes that harmless.
+    stable_floor: int = -1
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + self.payload_size

@@ -41,6 +41,12 @@ class VsyncConfig:
     join_retry_us: int = 800_000
     leave_retry_us: int = 800_000
     retransmit_timeout_us: int = 20_000
+    #: Stability acks/floors piggyback on data traffic (Publish/Ordered
+    #: headers); a standalone StabilityAck or StabilityAnnounce is only
+    #: sent at a stability tick if the channel carried none for this
+    #: long.  Kept below stability_period_us so an idle channel still
+    #: converges within one tick.
+    ack_idle_timeout_us: int = 400_000
 
     def scaled(self, factor: float) -> "VsyncConfig":
         """A copy with every timer multiplied by ``factor``."""

@@ -26,6 +26,10 @@ from .view import View
 #: How long a receiver waits on a sequence gap before NACKing, microseconds.
 NACK_DELAY_US = 30_000
 
+#: Fallback idle-ack timeout when the host exposes no stack config
+#: (unit-test fake hosts).  Matches VsyncConfig.ack_idle_timeout_us.
+DEFAULT_ACK_IDLE_TIMEOUT_US = 400_000
+
 
 class OrderedChannel:
     """Sequencer-based total order for one endpoint in one group.
@@ -54,6 +58,15 @@ class OrderedChannel:
         self.stable_upto = -1
         self._member_delivered: Dict[NodeId, int] = {}  # sequencer only
         self.log_pruned = 0
+        # Piggybacking bookkeeping: acks ride on outgoing Publish
+        # headers and floors on Ordered headers; standalone stability
+        # messages fire only when the channel has been idle.
+        self._last_ack_sent_at = 0
+        self._floor_distributed_upto = -1  # sequencer only
+        self.acks_piggybacked = 0
+        self.floors_piggybacked = 0
+        self.standalone_acks = 0
+        self.standalone_announces = 0
 
     # ------------------------------------------------------------------
     # View lifecycle
@@ -68,6 +81,8 @@ class OrderedChannel:
         self.frozen = False
         self.stable_upto = -1
         self._member_delivered.clear()
+        self._floor_distributed_upto = -1
+        self._last_ack_sent_at = self.host.env.now
         # The carried floors are authoritative: the flush equalised every
         # continuing member to the branch cut (so a local floor can never
         # legitimately exceed the carried one), and a sender *missing*
@@ -101,6 +116,9 @@ class OrderedChannel:
 
     def _publish(self, sender_seq: int, payload: Any, size: int) -> None:
         assert self.view is not None
+        # Piggybacked stability ack: our delivered prefix rides in the
+        # Publish header, so an actively-sending member never needs a
+        # standalone StabilityAck (see tick_stability's idle fallback).
         msg = Publish(
             group=self.host.group,
             view_id=self.view.view_id,
@@ -108,7 +126,10 @@ class OrderedChannel:
             sender_seq=sender_seq,
             payload=payload,
             payload_size=size,
+            acked_upto=self.delivered_upto,
         )
+        self._last_ack_sent_at = self.host.env.now
+        self.acks_piggybacked += 1
         if self.host.node == self.view.coordinator:
             self.on_publish(self.host.node, msg)
         else:
@@ -121,6 +142,12 @@ class OrderedChannel:
         """Sequencer: assign the next order number and multicast."""
         if self.view is None or msg.view_id != self.view.view_id:
             return  # stale view: sender will re-publish after install
+        # Absorb the piggybacked ack even for messages the dedup logic
+        # discards below — the sender's delivery progress is real either
+        # way.  (Harmless at non-coordinators: _member_delivered is only
+        # read by the sequencer's floor computation.)
+        if msg.acked_upto > self._member_delivered.get(msg.sender, -1):
+            self._member_delivered[msg.sender] = msg.acked_upto
         if self.frozen or self.host.node != self.view.coordinator:
             return
         if msg.sender_seq <= self.dedup_floor.get(msg.sender, -1):
@@ -130,6 +157,8 @@ class OrderedChannel:
         seq = self.next_order_seq
         self.next_order_seq += 1
         self._ordered_in_view.add((msg.sender, msg.sender_seq))
+        # Piggybacked stability floor: every Ordered carries the current
+        # floor, so members prune their logs from the data stream itself.
         ordered = Ordered(
             group=msg.group,
             view_id=msg.view_id,
@@ -138,7 +167,11 @@ class OrderedChannel:
             sender_seq=msg.sender_seq,
             payload=msg.payload,
             payload_size=msg.payload_size,
+            stable_floor=self.stable_upto,
         )
+        if self.stable_upto > self._floor_distributed_upto:
+            self._floor_distributed_upto = self.stable_upto
+            self.floors_piggybacked += 1
         self.host.multicast_view(ordered, ordered.size_bytes())
 
     def on_nack(self, msg: Nack) -> None:
@@ -157,6 +190,10 @@ class OrderedChannel:
         """Receive an ordered message; deliver contiguously, NACK gaps."""
         if self.view is None or msg.view_id != self.view.view_id:
             return
+        # Apply the piggybacked stability floor first — it is valid even
+        # for duplicates and retransmissions (the monotone guard in
+        # _apply_floor discards stale floors from log retransmits).
+        self._apply_floor(msg.stable_floor)
         if self.frozen:
             # Mid-flush: we already reported our delivery state, so any
             # delivery now would diverge from the branch-wide cut.  The
@@ -231,19 +268,42 @@ class OrderedChannel:
     # ------------------------------------------------------------------
     # Stability and log garbage collection
     # ------------------------------------------------------------------
+    def _ack_idle_timeout(self) -> int:
+        stack = getattr(self.host, "stack", None)
+        config = getattr(stack, "config", None)
+        return getattr(config, "ack_idle_timeout_us", DEFAULT_ACK_IDLE_TIMEOUT_US)
+
     def tick_stability(self) -> None:
         """Periodic: report delivery progress / announce the floor.
 
-        Members send a :class:`StabilityAck` to the sequencer; the
-        sequencer (whose own progress counts too) announces the minimum
-        as the new stability floor.  Called by the endpoint's stability
-        timer.
+        Stability information normally piggybacks on the data stream —
+        acks ride in Publish headers, floors in Ordered headers.  This
+        tick is the *idle fallback*: a member sends a standalone
+        :class:`StabilityAck` only if no Publish carried its ack for
+        ``ack_idle_timeout_us``; the sequencer computes the floor from
+        the collected (piggybacked or standalone) acks and multicasts a
+        standalone :class:`StabilityAnnounce` only if no Ordered has
+        distributed the current floor yet.
         """
         if self.view is None or self.frozen:
             return
+        now = self.host.env.now
         if self.host.node == self.view.coordinator:
-            self._announce_floor()
+            self._compute_floor()
+            if self.stable_upto > self._floor_distributed_upto:
+                self._floor_distributed_upto = self.stable_upto
+                self.standalone_announces += 1
+                announce = StabilityAnnounce(
+                    group=self.host.group,
+                    view_id=self.view.view_id,
+                    floor=self.stable_upto,
+                )
+                self.host.multicast_view(announce, announce.size_bytes())
         else:
+            if now - self._last_ack_sent_at < self._ack_idle_timeout():
+                return  # a recent Publish already carried our progress
+            self._last_ack_sent_at = now
+            self.standalone_acks += 1
             ack = StabilityAck(
                 group=self.host.group,
                 view_id=self.view.view_id,
@@ -260,7 +320,13 @@ class OrderedChannel:
         if msg.delivered_upto > previous:
             self._member_delivered[msg.member] = msg.delivered_upto
 
-    def _announce_floor(self) -> None:
+    def _compute_floor(self) -> None:
+        """Sequencer: recompute the stability floor and apply it locally.
+
+        The floor propagates to members piggybacked on subsequent
+        Ordered messages; :meth:`tick_stability` falls back to a
+        standalone announce when the channel idles before that happens.
+        """
         assert self.view is not None
         others = [m for m in self.view.members if m != self.host.node]
         if any(m not in self._member_delivered for m in others):
@@ -268,23 +334,22 @@ class OrderedChannel:
         floor = min(
             [self.delivered_upto] + [self._member_delivered[m] for m in others]
         )
-        if floor <= self.stable_upto:
+        self._apply_floor(floor)
+
+    def _apply_floor(self, floor: int) -> None:
+        """Advance ``stable_upto`` and prune the log (monotone, idempotent)."""
+        if self.view is None or floor <= self.stable_upto:
             return
-        announce = StabilityAnnounce(
-            group=self.host.group, view_id=self.view.view_id, floor=floor
-        )
-        self.host.multicast_view(announce, announce.size_bytes())
+        self.stable_upto = floor
+        for seq in [s for s in self.log if s <= floor]:
+            del self.log[seq]
+            self.log_pruned += 1
 
     def on_stability_announce(self, msg: StabilityAnnounce) -> None:
         """Prune the log up to the announced floor."""
         if self.view is None or msg.view_id != self.view.view_id:
             return
-        if msg.floor <= self.stable_upto:
-            return
-        self.stable_upto = msg.floor
-        for seq in [s for s in self.log if s <= msg.floor]:
-            del self.log[seq]
-            self.log_pruned += 1
+        self._apply_floor(msg.floor)
 
     # ------------------------------------------------------------------
     # Flush support

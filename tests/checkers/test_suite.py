@@ -85,6 +85,7 @@ def test_standard_suite_registers_the_stock_monitors():
         "view-agreement",
         "delivery",
         "lwg-agreement",
+        "batch-accounting",
         "merge-round",
         "genealogy-gc",
         "naming-convergence",

@@ -141,6 +141,32 @@ def test_multiple_mappings_callback_reaches_coordinators(env):
     assert len(message.records) == 2
 
 
+def test_synced_servers_short_circuit_gossip(env):
+    """Once replicas match byte-for-byte, anti-entropy degenerates to a
+    hash handshake: in_sync replies, no digests or records shipped."""
+    servers, stacks, clients = setup(env)
+    client = clients["p0"]
+    client.set(rec(client, "lwg:a", ViewId("p0", 1), "hwg:1"))
+    env.sim.run_until(2 * SECOND)  # push + at least one full exchange
+    from repro.naming import databases_identical
+    assert databases_identical([s.db for s in servers.values()])
+    before = {i: s.syncs_short_circuited for i, s in servers.items()}
+    env.sim.run_until(5 * SECOND)  # several quiet gossip periods
+    shorted = sum(
+        s.syncs_short_circuited - before[i] for i, s in servers.items()
+    )
+    assert shorted >= 4
+    assert databases_identical([s.db for s in servers.values()])
+    # A fresh write breaks the fixed point; gossip must still converge it.
+    client.set(rec(client, "lwg:b", ViewId("p0", 2), "hwg:2"))
+    assert run_until(
+        env,
+        lambda: databases_identical([s.db for s in servers.values()])
+        and len(servers["ns0"].db) == 2,
+        timeout_s=5,
+    )
+
+
 def test_three_servers_converge(env):
     servers, stacks, clients = setup(env, num_servers=3)
     client = clients["p0"]

@@ -133,3 +133,50 @@ def test_snapshot_lists_everything_including_tombstones():
     db.apply(rec("lwg:a", ViewId("p", 1), "hwg:1", deleted=True))
     assert len(db.snapshot()) == 1
     assert db.live_records("lwg:a") == []
+
+
+def test_content_hash_independent_of_insertion_order():
+    db1, db2 = NamingDatabase(), NamingDatabase()
+    a = rec("lwg:a", ViewId("p0", 1), "hwg:1")
+    b = rec("lwg:b", ViewId("p1", 1), "hwg:2")
+    db1.apply(a)
+    db1.apply(b)
+    db2.apply(b)
+    db2.apply(a)
+    assert db1.content_hash() == db2.content_hash()
+
+
+def test_content_hash_changes_on_every_mutation_path():
+    db = NamingDatabase()
+    empty = db.content_hash()
+    v1, v2 = ViewId("p", 1), ViewId("p", 2)
+    db.apply(rec("lwg:a", v1, "hwg:1"))
+    after_apply = db.content_hash()
+    assert after_apply != empty
+    # Genealogy-only knowledge is content too: a replica that knows the
+    # ancestry differs from one that does not, even with equal records.
+    db.absorb_genealogy({v2: (v1,)})
+    after_edges = db.content_hash()
+    assert after_edges != after_apply
+    # GC triggered by a later record flows through apply(); a bare
+    # garbage_collect() that removes something must also invalidate.
+    db.apply(rec("lwg:a", v2, "hwg:2", version=2))
+    assert db.garbage_collect() == 0  # apply already collected v1
+    assert db.content_hash() not in (empty, after_apply, after_edges)
+
+
+def test_content_hash_distinguishes_tombstones():
+    live, dead = NamingDatabase(), NamingDatabase()
+    view = ViewId("p", 1)
+    live.apply(rec("lwg:a", view, "hwg:1"))
+    dead.apply(rec("lwg:a", view, "hwg:1", deleted=True))
+    assert live.content_hash() != dead.content_hash()
+
+
+def test_content_hash_is_cached_until_mutation():
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p", 1), "hwg:1"))
+    assert db.content_hash() is db.content_hash()  # cache hit, same object
+    assert not db.apply(rec("lwg:a", ViewId("p", 1), "hwg:OLD", version=0))
+    # A rejected stale write leaves the content (and its hash) alone.
+    assert db.content_hash() == db.content_hash()

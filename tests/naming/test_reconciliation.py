@@ -1,14 +1,21 @@
 """Tests for the pure reconciliation arithmetic."""
 
-from repro.naming import MappingRecord, NamingDatabase, absorb, databases_consistent
+from repro.naming import (
+    MappingRecord,
+    NamingDatabase,
+    absorb,
+    databases_consistent,
+    databases_identical,
+)
 from repro.naming.reconciliation import genealogy_to_send, records_to_send
 from repro.vsync.view import ViewId
 
 
-def rec(lwg, view, hwg, version=1, writer="w"):
+def rec(lwg, view, hwg, version=1, writer="w", deleted=False):
     return MappingRecord(
         lwg=lwg, lwg_view=view, lwg_members=("m",), hwg=hwg,
         hwg_view=ViewId("h", 1), version=version, writer=writer,
+        deleted=deleted,
     )
 
 
@@ -86,3 +93,97 @@ def test_idempotent_absorb():
     result = absorb(db, [record], {})
     assert result.applied == 0
     assert len(db) == 1
+
+
+# ----------------------------------------------------------------------
+# Delta selection edge cases
+# ----------------------------------------------------------------------
+def test_records_to_send_against_empty_digest_ships_everything():
+    db = NamingDatabase()
+    db.apply(rec("lwg:a", ViewId("p", 1), "hwg:1"))
+    db.apply(rec("lwg:b", ViewId("p", 2), "hwg:2"))
+    assert len(records_to_send(db, {})) == 2
+    assert records_to_send(NamingDatabase(), {}) == []
+
+
+def test_records_to_send_skips_keys_the_remote_holds_newer():
+    """Concurrent updates to one key: only the LWW winner travels."""
+    mine, theirs = NamingDatabase(), NamingDatabase()
+    view = ViewId("p", 1)
+    mine.apply(rec("lwg:a", view, "hwg:OLD", version=1, writer="a"))
+    theirs.apply(rec("lwg:a", view, "hwg:NEW", version=2, writer="b"))
+    assert records_to_send(mine, theirs.digest()) == []
+    winners = records_to_send(theirs, mine.digest())
+    assert [r.hwg for r in winners] == ["hwg:NEW"]
+
+
+def test_delta_selection_under_concurrent_updates_converges():
+    """Both sides write while partitioned — including the same key —
+    then a digest-driven delta exchange must reach one common LWW state."""
+    left, right = NamingDatabase(), NamingDatabase()
+    shared_view = ViewId("p", 1)
+    left.apply(rec("lwg:a", shared_view, "hwg:L", version=2, writer="l"))
+    right.apply(rec("lwg:a", shared_view, "hwg:R", version=2, writer="r"))
+    left.apply(rec("lwg:b", ViewId("pl", 1), "hwg:1"))
+    right.apply(rec("lwg:c", ViewId("pr", 1), "hwg:2"))
+    absorb(right, records_to_send(left, right.digest()),
+           genealogy_to_send(left, right.genealogy_edges()))
+    absorb(left, records_to_send(right, left.digest()),
+           genealogy_to_send(right, left.genealogy_edges()))
+    assert databases_identical([left, right])
+    # version tie broken by writer: "r" > "l".
+    assert left.live_records("lwg:a")[0].hwg == "hwg:R"
+
+
+def test_genealogy_to_send_from_empty_database_is_empty():
+    assert genealogy_to_send(NamingDatabase(), []) == {}
+    assert genealogy_to_send(NamingDatabase(), [ViewId("p", 1)]) == {}
+
+
+# ----------------------------------------------------------------------
+# Delta exchange vs full-database exchange
+# ----------------------------------------------------------------------
+def populate_diverged_pair():
+    """Replicas sharing history, then partitioned: disjoint writes plus
+    a view-succession chain whose GC evidence lives on one side only."""
+    left, right = NamingDatabase(), NamingDatabase()
+    base = rec("lwg:shared", ViewId("p0", 1), "hwg:1")
+    for db in (left, right):
+        db.apply(base)
+    old, new = ViewId("q", 1), ViewId("q", 2)
+    left.apply(rec("lwg:evolving", old, "hwg:2"))
+    left.apply(rec("lwg:evolving", new, "hwg:3", version=2), parents=[old])
+    right.apply(rec("lwg:evolving", old, "hwg:2"))
+    right.apply(rec("lwg:right-only", ViewId("r", 1), "hwg:4", deleted=True))
+    return left, right
+
+
+def exchange_deltas(a, b):
+    """The wire protocol's 3-message push-pull, as pure computation."""
+    absorb(a, records_to_send(b, a.digest()),
+           genealogy_to_send(b, a.genealogy_edges()))
+    absorb(b, records_to_send(a, b.digest()),
+           genealogy_to_send(a, b.genealogy_edges()))
+
+
+def exchange_full(a, b):
+    """The naive alternative: ship both complete databases."""
+    absorb(a, b.snapshot(), b.genealogy_edges())
+    absorb(b, a.snapshot(), a.genealogy_edges())
+
+
+def test_delta_exchange_converges_to_the_full_exchange_state():
+    delta_pair = populate_diverged_pair()
+    full_pair = populate_diverged_pair()
+    exchange_deltas(*delta_pair)
+    exchange_full(*full_pair)
+    assert databases_identical(delta_pair)
+    assert databases_identical(full_pair)
+    # Same fixed point either way, byte for byte.
+    assert databases_identical([*delta_pair, *full_pair])
+    # ... and it is the interesting one: GC evidence crossed over, so the
+    # superseded lwg:evolving mapping is gone everywhere.
+    for db in (*delta_pair, *full_pair):
+        assert [r.lwg_view for r in db.live_records("lwg:evolving")] == [
+            ViewId("q", 2)
+        ]

@@ -1,0 +1,152 @@
+"""Unit tests for the compact datagram codec and fabric framing."""
+
+import pickle
+
+import pytest
+
+from repro.core.messages import LwgBatch, LwgData, LwgViewMsg
+from repro.runtime.codec import (
+    CodecError,
+    CompactCodec,
+    MAGIC,
+    OversizeDatagramError,
+    PickleCodec,
+    make_codec,
+)
+from repro.vsync.messages import Ordered, Publish, StabilityAck
+from repro.vsync.view import View, ViewId
+
+
+def roundtrip(payload, codec=None, src="p0", size=256):
+    codec = codec or CompactCodec()
+    return codec.decode(codec.encode(src, payload, size))
+
+
+def data_msg(payload=b"x" * 64, seq=3):
+    return LwgData(
+        lwg="lwg:chat", view_id=ViewId("p0", seq), sender="p1",
+        payload=payload, payload_size=len(payload),
+    )
+
+
+# ----------------------------------------------------------------------
+# Hot-path round trips
+# ----------------------------------------------------------------------
+def test_lwg_data_roundtrips_exactly():
+    message = data_msg()
+    src, decoded, size = roundtrip(message, size=92)
+    assert (src, size) == ("p0", 92)
+    assert decoded == message and type(decoded) is LwgData
+
+
+def test_lwg_batch_roundtrips_with_entries():
+    batch = LwgBatch(
+        lwg="lwg:a", sender="p2", batch_seq=17,
+        entries=(data_msg(b"one", 1), data_msg(b"two", 2)),
+    )
+    _, decoded, _ = roundtrip(batch)
+    assert decoded == batch and type(decoded) is LwgBatch
+    assert all(type(e) is LwgData for e in decoded.entries)
+
+
+def test_ordered_carrying_a_batch_roundtrips():
+    """The actual hot datagram: Ordered -> LwgBatch -> LwgData payloads."""
+    batch = LwgBatch(lwg="lwg:a", sender="p1", batch_seq=2,
+                     entries=(data_msg(), data_msg(b"more", 4)))
+    ordered = Ordered(
+        group="hwg:p0:000001", view_id=ViewId("p0", 9), seq=41,
+        sender="p1", sender_seq=7, payload=batch,
+        payload_size=batch.size_bytes(), stable_floor=33,
+    )
+    _, decoded, _ = roundtrip(ordered)
+    assert decoded == ordered
+    assert decoded.stable_floor == 33
+    assert type(decoded.payload) is LwgBatch
+
+
+def test_publish_and_stability_ack_roundtrip():
+    publish = Publish(
+        group="hwg:p0:000001", view_id=ViewId("p3", 4), sender="p3",
+        sender_seq=12, payload=data_msg("text payload"),
+        payload_size=40, acked_upto=11,
+    )
+    ack = StabilityAck(
+        group="hwg:p0:000001", view_id=ViewId("p3", 4),
+        member="p4", delivered_upto=38,
+    )
+    assert roundtrip(publish)[1] == publish
+    assert roundtrip(ack)[1] == ack
+
+
+def test_primitive_payloads_roundtrip():
+    for payload in (None, True, False, 0, -1, 1 << 40, -(1 << 40),
+                    "unicode ✓", b"", b"\x00\xff", (), (1, "a", (b"n", None))):
+        assert roundtrip(payload)[1] == payload
+
+
+def test_huge_ints_and_unknown_types_fall_back_to_pickle():
+    for payload in (1 << 80, {"a": 1}, [1, 2], 3.5,
+                    LwgViewMsg(lwg="lwg:a", view=View("lwg:a", ViewId("p", 1), ("p",)))):
+        assert roundtrip(payload)[1] == payload
+
+
+def test_compact_frames_are_smaller_than_pickle_for_hot_messages():
+    batch = LwgBatch(lwg="lwg:a", sender="p1", batch_seq=2,
+                     entries=tuple(data_msg(bytes(64), i) for i in range(8)))
+    ordered = Ordered(group="hwg:p0:000001", view_id=ViewId("p0", 9), seq=41,
+                      sender="p1", sender_seq=7, payload=batch,
+                      payload_size=batch.size_bytes())
+    compact = CompactCodec().encode("p0", ordered, 1024)
+    pickled = PickleCodec().encode("p0", ordered, 1024)
+    assert len(compact) < len(pickled)
+
+
+# ----------------------------------------------------------------------
+# Interop and framing errors
+# ----------------------------------------------------------------------
+def test_codecs_interoperate_both_ways():
+    message = data_msg()
+    assert PickleCodec().decode(CompactCodec().encode("p0", message, 1))[1] == message
+    assert CompactCodec().decode(PickleCodec().encode("p0", message, 1))[1] == message
+
+
+def test_magic_byte_disjoint_from_pickle_frames():
+    assert pickle.dumps(0, protocol=pickle.HIGHEST_PROTOCOL)[0] != MAGIC
+    assert CompactCodec().encode("p0", None, 0)[0] == MAGIC
+
+
+def test_truncated_and_garbage_frames_raise_codec_error():
+    frame = CompactCodec().encode("p0", data_msg(), 256)
+    for bad in (b"", frame[:-3], frame[:4], b"\x01garbage",
+                frame + b"trailing", bytes((MAGIC, 99))):
+        with pytest.raises(CodecError):
+            CompactCodec().decode(bad)
+
+
+def test_make_codec_resolves_names():
+    assert make_codec("pickle").name == "pickle"
+    assert make_codec("compact").name == "compact"
+    with pytest.raises(ValueError):
+        make_codec("msgpack")
+
+
+# ----------------------------------------------------------------------
+# Fabric oversize path
+# ----------------------------------------------------------------------
+def test_oversize_payload_raises_typed_error():
+    from repro.runtime.asyncio_backend import AsyncioRuntime, UdpFabric
+
+    runtime = AsyncioRuntime.create(seed=1)
+    try:
+        received = []
+        runtime.fabric.attach("p0", lambda *a: received.append(a))
+        blob = bytes(UdpFabric.MAX_DATAGRAM + 1)
+        with pytest.raises(OversizeDatagramError) as excinfo:
+            runtime.fabric.send("p0", "p0", blob, size=len(blob))
+        assert excinfo.value.src == "p0"
+        assert excinfo.value.limit == UdpFabric.MAX_DATAGRAM
+        assert excinfo.value.encoded_bytes > UdpFabric.MAX_DATAGRAM
+        # The typed error is still a ValueError for legacy handlers.
+        assert isinstance(excinfo.value, ValueError)
+    finally:
+        runtime.close()
