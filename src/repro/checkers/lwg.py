@@ -128,7 +128,8 @@ class BatchAccountingChecker(Checker):
 
     * **count agreement** — a batch is unpacked with exactly as many
       entries as it was sent with (identified by ``(sender,
-      batch_seq)``);
+      batch_seq)``), and with the same per-LWG entry breakdown — a
+      mixed-LWG batch must not be mistaken for single-group traffic;
     * **at-most-once unpack** — no node unpacks the same batch twice
       (the HWG ordered channel dedups, so a double unpack would mean
       duplicated delivery of every entry).
@@ -139,24 +140,35 @@ class BatchAccountingChecker(Checker):
 
     def __init__(self) -> None:
         super().__init__()
-        #: (sender, batch_seq) -> entry count at send time.
-        self._sent: Dict[Tuple[str, int], int] = {}
+        #: (sender, batch_seq) -> (entry count, per-LWG counts) at send time.
+        self._sent: Dict[Tuple[str, int], Tuple[int, Dict[str, int]]] = {}
         #: (node, sender, batch_seq) already unpacked.
         self._unpacked: Set[Tuple[str, str, int]] = set()
 
     def on_record(self, record: TraceRecord) -> None:
         fields = record.fields
         if record.event == "batch_sent":
-            self._sent[(fields["node"], fields["batch_seq"])] = fields["entries"]
+            self._sent[(fields["node"], fields["batch_seq"])] = (
+                fields["entries"],
+                dict(fields.get("lwgs", {})),
+            )
         elif record.event == "batch_unpacked":
             node, sender = fields["node"], fields["sender"]
             batch_seq, entries = fields["batch_seq"], fields["entries"]
             sent = self._sent.get((sender, batch_seq))
-            if sent is not None and sent != entries:
+            if sent is not None and sent[0] != entries:
                 self.fail(
                     "batch count agreement",
                     f"{node} unpacked batch {sender}#{batch_seq} with "
-                    f"{entries} entries, but it was sent with {sent}",
+                    f"{entries} entries, but it was sent with {sent[0]}",
+                    record,
+                )
+            lwgs = dict(fields.get("lwgs", {}))
+            if sent is not None and sent[1] != lwgs:
+                self.fail(
+                    "batch per-LWG count agreement",
+                    f"{node} unpacked batch {sender}#{batch_seq} with "
+                    f"per-LWG counts {lwgs}, but it was sent with {sent[1]}",
                     record,
                 )
             key = (node, sender, batch_seq)

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..naming.records import HwgId
-from .messages import LwgBatch, LwgData
+from .messages import MIXED_BATCH, LwgBatch, LwgData
 
 
 class BatchPacker:
@@ -62,6 +62,12 @@ class BatchPacker:
         self._buffers: Dict[HwgId, List[LwgData]] = {}
         self._buffered_bytes: Dict[HwgId, int] = {}
         self._timer_armed: Dict[HwgId, bool] = {}
+        #: Per-HWG window generation.  Every flush (and crash reset)
+        #: bumps it; an armed timer captures the generation at arm time
+        #: and its firing is ignored if they no longer match, so a
+        #: byte-cap or control-message flush cannot leave a stale timer
+        #: that silently shortens the next batch's window.
+        self._timer_gen: Dict[HwgId, int] = {}
         self._batch_seq = 0
         # Counters (surfaced through LwgStats by the service).
         self.batches_sent = 0
@@ -82,10 +88,12 @@ class BatchPacker:
             return
         if not self._timer_armed.get(hwg, False):
             self._timer_armed[hwg] = True
-            self._set_timer(self.window_us, lambda: self._on_timer(hwg))
+            generation = self._timer_gen.get(hwg, 0)
+            self._set_timer(self.window_us, lambda: self._on_timer(hwg, generation))
 
-    def _on_timer(self, hwg: HwgId) -> None:
-        self._timer_armed[hwg] = False
+    def _on_timer(self, hwg: HwgId, generation: int) -> None:
+        if generation != self._timer_gen.get(hwg, 0):
+            return  # stale: the window this timer was arming already flushed
         self.flush(hwg)
 
     def flush(self, hwg: HwgId) -> None:
@@ -93,6 +101,8 @@ class BatchPacker:
         buffer = self._buffers.get(hwg)
         if not buffer:
             return
+        self._timer_armed[hwg] = False
+        self._timer_gen[hwg] = self._timer_gen.get(hwg, 0) + 1
         entries, self._buffers[hwg] = buffer, []
         self._buffered_bytes[hwg] = 0
         if len(entries) == 1:
@@ -104,8 +114,9 @@ class BatchPacker:
         self._batch_seq += 1
         self.batches_sent += 1
         self.entries_batched += len(entries)
+        lwgs = {entry.lwg for entry in entries}
         batch = LwgBatch(
-            lwg=entries[0].lwg,
+            lwg=entries[0].lwg if len(lwgs) == 1 else MIXED_BATCH,
             sender=self.node,
             batch_seq=self._batch_seq,
             entries=tuple(entries),
@@ -121,6 +132,11 @@ class BatchPacker:
         """Drop all buffered payloads (fail-stop crash semantics)."""
         self._buffers.clear()
         self._buffered_bytes.clear()
+        # Invalidate every armed window, not just clear the flags: a
+        # timer surviving the reset (or re-arming races around recovery)
+        # must not flush a post-recovery buffer early.
+        for hwg in self._timer_armed:
+            self._timer_gen[hwg] = self._timer_gen.get(hwg, 0) + 1
         self._timer_armed.clear()
 
     def pending_entries(self, hwg: HwgId) -> int:

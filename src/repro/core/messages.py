@@ -15,7 +15,7 @@ to a joiner using an outdated mapping, Section 3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..naming.records import HwgId, LwgId
 from ..vsync.view import ProcessId, View, ViewId
@@ -31,6 +31,11 @@ LWG_HEADER_BYTES = 28
 #: ``LWG_HEADER_BYTES + HEADER_BYTES`` envelope per message — that
 #: difference is the batching win.
 BATCH_ENTRY_HEADER_BYTES = 12
+
+#: ``lwg`` label of a batch whose entries span multiple LWGs.  Per-HWG
+#: buffers coalesce co-mapped groups, so a single label cannot name the
+#: contents; accounting is always per entry (:meth:`LwgBatch.lwg_counts`).
+MIXED_BATCH: LwgId = "lwg:<mixed>"
 
 
 @dataclass(frozen=True)
@@ -65,13 +70,22 @@ class LwgBatch(LwgMessage):
     The batch occupies a single slot in the HWG's total order, so
     unpacking the entries in tuple order preserves the sender's FIFO
     order and the group-wide total order.  ``batch_seq`` is a per-sender
-    counter used by the batch-accounting checker; ``lwg`` is the first
-    entry's group (tracing only — receivers demultiplex per entry).
+    counter used by the batch-accounting checker; ``lwg`` is the
+    entries' common group, or :data:`MIXED_BATCH` when the window
+    coalesced payloads of several co-mapped LWGs — receivers always
+    demultiplex per entry, never by this label.
     """
 
     sender: ProcessId = ""
     batch_seq: int = 0
     entries: Tuple[LwgData, ...] = ()
+
+    def lwg_counts(self) -> Dict[LwgId, int]:
+        """Entry count per LWG, in sorted-key order (tracing/accounting)."""
+        counts: Dict[LwgId, int] = {}
+        for entry in self.entries:
+            counts[entry.lwg] = counts.get(entry.lwg, 0) + 1
+        return {lwg: counts[lwg] for lwg in sorted(counts)}
 
     def size_bytes(self) -> int:
         return LWG_HEADER_BYTES + sum(

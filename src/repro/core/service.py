@@ -334,6 +334,7 @@ class LwgService:
                     hwg=hwg,
                     batch_seq=message.batch_seq,
                     entries=len(message.entries),
+                    lwgs=message.lwg_counts(),
                 )
         endpoint = self.ensure_hwg(hwg)
         endpoint.send(message, message.size_bytes())
@@ -429,6 +430,7 @@ class LwgService:
                 sender=batch.sender,
                 batch_seq=batch.batch_seq,
                 entries=len(batch.entries),
+                lwgs=batch.lwg_counts(),
             )
         for entry in batch.entries:
             self._on_lwg_data(hwg, entry)

@@ -9,13 +9,17 @@ driven garbage collection and MULTIPLE-MAPPINGS conflict callbacks.
 from .callbacks import ConflictNotifier
 from .client import NamingClient
 from .database import NamingDatabase
+from .merkle import MerklePrefixTree
 from .messages import MultipleMappings, NsRequest, NsResponse
 from .records import HwgId, LwgId, MappingRecord
 from .reconciliation import (
+    MerkleSession,
     ReconcileResult,
+    SyncDelta,
     absorb,
     databases_consistent,
     databases_identical,
+    merkle_exchange,
 )
 from .server import NameServer
 
@@ -23,6 +27,8 @@ __all__ = [
     "ConflictNotifier",
     "NamingClient",
     "NamingDatabase",
+    "MerklePrefixTree",
+    "MerkleSession",
     "MultipleMappings",
     "NsRequest",
     "NsResponse",
@@ -30,8 +36,10 @@ __all__ = [
     "LwgId",
     "MappingRecord",
     "ReconcileResult",
+    "SyncDelta",
     "absorb",
     "databases_consistent",
     "databases_identical",
+    "merkle_exchange",
     "NameServer",
 ]

@@ -7,6 +7,18 @@ funnel through :meth:`apply` (last-writer-wins per key) followed by
 strict ancestor of another *recorded* view of the same LWG, which is how
 the paper discards stale mappings after merges ("the naming service
 must be aware of the partial order of views").
+
+Two digest structures ride the same mutation funnel:
+
+* a per-LWG key index, so GC and live-record queries touch only the
+  records of one group instead of scanning the whole store, and
+* a :class:`~repro.naming.merkle.MerklePrefixTree` over the record
+  keyspace, which anti-entropy uses to localize divergence without
+  shipping a flat full-database digest.
+
+``content_hash`` is derived from the Merkle root plus a genealogy
+digest, so it stays O(1) to read between mutations while still covering
+records, tombstones and ancestry knowledge byte-for-byte.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ import hashlib
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..vsync.view import ViewGenealogy, ViewId
+from .merkle import MerklePrefixTree
 from .records import HwgId, LwgId, MappingRecord, RecordKey
 
 
@@ -23,7 +36,12 @@ class NamingDatabase:
 
     def __init__(self) -> None:
         self._records: Dict[RecordKey, MappingRecord] = {}
+        #: lwg -> keys of every stored record of that group.
+        self._by_lwg: Dict[LwgId, Set[RecordKey]] = {}
         self.genealogy = ViewGenealogy()
+        #: Merkle-prefix digest tree over the record keyspace, updated
+        #: through the same funnel as ``content_hash``.
+        self.merkle = MerklePrefixTree()
         self.applied = 0
         self.gc_removed = 0
         #: Optional observation hooks (wired by the server for tracing /
@@ -32,6 +50,9 @@ class NamingDatabase:
         self.on_gc: Optional[Callable[[LwgId, ViewId, ViewId], None]] = None
         #: Cached :meth:`content_hash`; every mutation path clears it.
         self._content_hash: Optional[str] = None
+        #: Cached digest of the genealogy edge set; cleared whenever an
+        #: edge is recorded (apply parents / absorb_genealogy).
+        self._genealogy_hash: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -48,19 +69,43 @@ class NamingDatabase:
         garbage-collected.
         """
         parents = tuple(parents)
+        genealogy_changed = False
         if parents:
             self.genealogy.record(record.lwg_view, parents)
             self._content_hash = None
+            self._genealogy_hash = None
+            genealogy_changed = True
             if self.on_edge is not None:
                 self.on_edge(record.lwg_view, parents)
         existing = self._records.get(record.key)
         if existing is not None and not record.newer_than(existing):
+            # The record lost last-writer-wins, but any genealogy it
+            # carried is new knowledge that can obsolete records we
+            # already hold — collect now, or stale mappings linger
+            # until an unrelated mutation of the same LWG.
+            if genealogy_changed:
+                self.garbage_collect(record.lwg)
             return False
-        self._records[record.key] = record
-        self._content_hash = None
+        self._store(record)
         self.applied += 1
         self.garbage_collect(record.lwg)
         return True
+
+    def _store(self, record: MappingRecord) -> None:
+        key = record.key
+        self._records[key] = record
+        self._by_lwg.setdefault(record.lwg, set()).add(key)
+        self.merkle.update(key, record.order_key())
+        self._content_hash = None
+
+    def _discard(self, key: RecordKey) -> None:
+        del self._records[key]
+        keys = self._by_lwg[key[0]]
+        keys.discard(key)
+        if not keys:
+            del self._by_lwg[key[0]]
+        self.merkle.remove(key)
+        self._content_hash = None
 
     def garbage_collect(self, lwg: Optional[LwgId] = None) -> int:
         """Drop records whose LWG view is an ancestor of a newer recorded view.
@@ -68,13 +113,14 @@ class NamingDatabase:
         Restricted to one LWG when given; returns the number removed.
         """
         removed = 0
-        targets = (
-            [lwg] if lwg is not None else sorted({l for l, _ in self._records})
-        )
+        targets = [lwg] if lwg is not None else sorted(self._by_lwg)
         for target in targets:
-            keys = [k for k in self._records if k[0] == target]
-            views = [k[1] for k in keys]
-            for key in keys:
+            keys = self._by_lwg.get(target)
+            if not keys or len(keys) < 2:
+                continue
+            ordered = sorted(keys)
+            views = [k[1] for k in ordered]
+            for key in ordered:
                 _, view = key
                 witness = next(
                     (
@@ -85,8 +131,7 @@ class NamingDatabase:
                     None,
                 )
                 if witness is not None:
-                    del self._records[key]
-                    self._content_hash = None
+                    self._discard(key)
                     removed += 1
                     if self.on_gc is not None:
                         self.on_gc(target, view, witness)
@@ -100,9 +145,9 @@ class NamingDatabase:
         """Every non-deleted mapping currently stored for ``lwg``."""
         return sorted(
             (
-                r
-                for (l, _), r in self._records.items()
-                if l == lwg and not r.deleted
+                self._records[key]
+                for key in self._by_lwg.get(lwg, ())
+                if not self._records[key].deleted
             ),
             key=lambda r: (r.lwg_view, r.hwg_view),
         )
@@ -112,7 +157,11 @@ class NamingDatabase:
 
     def lwgs(self) -> Set[LwgId]:
         """All LWGs with at least one live record."""
-        return {l for (l, _), r in self._records.items() if not r.deleted}
+        return {
+            lwg
+            for lwg, keys in self._by_lwg.items()
+            if any(not self._records[key].deleted for key in keys)
+        }
 
     def conflicts(self) -> Dict[LwgId, List[MappingRecord]]:
         """LWGs whose live views are mapped onto *different* HWGs.
@@ -135,8 +184,33 @@ class NamingDatabase:
     # ------------------------------------------------------------------
     # Replication support
     # ------------------------------------------------------------------
+    def clone(self) -> "NamingDatabase":
+        """Independent replica with the same contents and digest caches.
+
+        Records are immutable, so only the containers are copied; the
+        Merkle tree and hash caches carry over, making a clone far
+        cheaper than re-applying every record.  Observation hooks are
+        deliberately *not* copied — they belong to the server wrapping
+        the original.  Used to fork replicas from a prebuilt base in
+        benchmarks and tests.
+        """
+        out = NamingDatabase()
+        out._records = dict(self._records)
+        out._by_lwg = {lwg: set(keys) for lwg, keys in self._by_lwg.items()}
+        out.genealogy = self.genealogy.clone()
+        out.merkle = self.merkle.clone()
+        out.applied = self.applied
+        out.gc_removed = self.gc_removed
+        out._content_hash = self._content_hash
+        out._genealogy_hash = self._genealogy_hash
+        return out
+
     def digest(self) -> Dict[RecordKey, tuple]:
-        """Compact summary for anti-entropy: key -> LWW order key."""
+        """Flat full-database summary: key -> LWW order key.
+
+        Kept as the reference the Merkle descent is benchmarked against
+        (and for tests); the wire protocol no longer ships it.
+        """
         return {k: r.order_key() for k, r in self._records.items()}
 
     def content_hash(self) -> str:
@@ -145,18 +219,26 @@ class NamingDatabase:
         Two replicas with equal hashes hold byte-identical databases, so
         a gossip exchange between them has nothing to ship — the server
         uses this to short-circuit steady-state anti-entropy to a single
-        small request/reply pair instead of two full digests.  Cached;
-        every mutation path invalidates.
+        small request/reply pair instead of a digest descent.  Derived
+        from the Merkle root and a genealogy digest, both cached; every
+        mutation path invalidates.
         """
         if self._content_hash is None:
             hasher = hashlib.sha256()
-            for key in sorted(self._records):
-                hasher.update(repr((key, self._records[key].order_key())).encode())
+            hasher.update(self.merkle.root_hash().encode("ascii"))
+            hasher.update(b"|")
+            hasher.update(self._genealogy_digest().encode("ascii"))
+            self._content_hash = hasher.hexdigest()
+        return self._content_hash
+
+    def _genealogy_digest(self) -> str:
+        if self._genealogy_hash is None:
+            hasher = hashlib.sha256()
             edges = self.genealogy.edges()
             for child in sorted(edges):
                 hasher.update(repr((child, edges[child])).encode())
-            self._content_hash = hasher.hexdigest()
-        return self._content_hash
+            self._genealogy_hash = hasher.hexdigest()
+        return self._genealogy_hash
 
     def records_missing_from(self, digest: Dict[RecordKey, tuple]) -> List[MappingRecord]:
         """Records we hold that the digest lacks or holds older."""
@@ -167,12 +249,34 @@ class NamingDatabase:
                 out.append(record)
         return out
 
+    def records_missing_under(
+        self, prefix: str, digest: Dict[RecordKey, tuple]
+    ) -> List[MappingRecord]:
+        """Like :meth:`records_missing_from`, restricted to one subtree.
+
+        ``digest`` is the remote replica's leaf digest for ``prefix``;
+        only our records under the same prefix are candidates, so the
+        cost is O(subtree), not O(database).
+        """
+        out = []
+        for key in self.merkle.keys_under(prefix):
+            record = self._records[key]
+            theirs = digest.get(key)
+            if theirs is None or record.order_key() > theirs:
+                out.append(record)
+        return out
+
+    def leaf_digest_under(self, prefix: str) -> Dict[RecordKey, tuple]:
+        """``key -> order_key`` for every record under ``prefix``."""
+        return self.merkle.leaf_digest(prefix)
+
     def genealogy_edges(self) -> Dict[ViewId, Tuple[ViewId, ...]]:
         return self.genealogy.edges()
 
     def absorb_genealogy(self, edges: Dict[ViewId, Tuple[ViewId, ...]]) -> None:
         if edges:
             self._content_hash = None
+            self._genealogy_hash = None
         for child, parents in edges.items():
             self.genealogy.record(child, parents)
             if self.on_edge is not None and parents:

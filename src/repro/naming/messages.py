@@ -51,60 +51,86 @@ class NsResponse(NamingMessage):
 
 
 # ----------------------------------------------------------------------
-# Anti-entropy between servers (push-pull, 3 messages)
+# Anti-entropy between servers (Merkle-prefix descent, PROTOCOLS.md §16)
 # ----------------------------------------------------------------------
+def _expansion_bytes(expansions: Dict[str, Dict[str, str]]) -> int:
+    # Per probed prefix: length-prefixed path + (child char, 64-bit
+    # hash) per non-empty child.
+    return sum(4 + len(p) + 9 * len(c) for p, c in expansions.items())
+
+
+def _leaf_digest_bytes(leaf_digests: Dict[str, Dict[RecordKey, Tuple[int, str]]]) -> int:
+    # 48 bytes per (key, order_key) entry — same rate the flat digest
+    # was costed at, now restricted to divergent subtrees.
+    return sum(4 + len(p) + 48 * len(d) for p, d in leaf_digests.items())
+
+
+def _genealogy_bytes(genealogy: Dict[ViewId, Tuple[ViewId, ...]]) -> int:
+    return sum(16 + 16 * len(parents) for parents in genealogy.values())
+
+
 @dataclass(frozen=True)
 class SyncRequest(NamingMessage):
-    """Server A -> server B: my digest; tell me what I'm missing.
+    """Server A -> server B: open a Merkle descent.
 
     ``db_hash`` summarises A's whole database (records + genealogy); a
     replica holding an identical database answers with an ``in_sync``
-    reply and the exchange ends after two small messages.
+    reply and the exchange ends after two small messages.  Otherwise
+    ``expansions`` (the root's child subtree hashes) seeds the descent
+    and ``genealogy_children`` opens the ancestry exchange — every
+    subsequent step travels as a :class:`SyncReply` in either direction.
     """
 
     sender: ProcessId = ""
     sync_id: int = 0
-    digest: Dict[RecordKey, Tuple[int, str]] = field(default_factory=dict)
-    genealogy_children: Tuple[ViewId, ...] = ()
     db_hash: str = ""
+    expansions: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    genealogy_children: Optional[Tuple[ViewId, ...]] = None
 
     def size_bytes(self) -> int:
-        return 128 + 48 * len(self.digest) + 16 * len(self.genealogy_children)
+        return (
+            96
+            + _expansion_bytes(self.expansions)
+            + 16 * len(self.genealogy_children or ())
+        )
 
 
 @dataclass(frozen=True)
 class SyncReply(NamingMessage):
-    """B -> A: records/edges A lacks, plus B's digest so A can push back.
+    """One step of the bounded descent, in either direction.
 
     When ``in_sync`` is set the databases already match and every other
     payload field is empty — the reply is just a hash acknowledgement.
+    Otherwise the fields mirror
+    :class:`~repro.naming.reconciliation.SyncDelta`: subtree-hash
+    expansions to descend further, leaf digests for localized
+    divergences, and the records/genealogy edges the receiver lacks.
+    ``round_no`` bounds runaway sessions.
     """
 
     sender: ProcessId = ""
     sync_id: int = 0
+    round_no: int = 0
+    in_sync: bool = False
+    expansions: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    leaf_digests: Dict[str, Dict[RecordKey, Tuple[int, str]]] = field(
+        default_factory=dict
+    )
     records: Tuple[MappingRecord, ...] = ()
     genealogy: Dict[ViewId, Tuple[ViewId, ...]] = field(default_factory=dict)
-    digest: Dict[RecordKey, Tuple[int, str]] = field(default_factory=dict)
-    genealogy_children: Tuple[ViewId, ...] = ()
-    in_sync: bool = False
+    genealogy_children: Optional[Tuple[ViewId, ...]] = None
 
     def size_bytes(self) -> int:
         if self.in_sync:
             return 96
-        return 96 + 96 * len(self.records) + 48 * len(self.digest)
-
-
-@dataclass(frozen=True)
-class SyncUpdate(NamingMessage):
-    """A -> B: the records/edges B turned out to be missing."""
-
-    sender: ProcessId = ""
-    sync_id: int = 0
-    records: Tuple[MappingRecord, ...] = ()
-    genealogy: Dict[ViewId, Tuple[ViewId, ...]] = field(default_factory=dict)
-
-    def size_bytes(self) -> int:
-        return 96 + 96 * len(self.records)
+        return (
+            96
+            + _expansion_bytes(self.expansions)
+            + _leaf_digest_bytes(self.leaf_digests)
+            + 96 * len(self.records)
+            + _genealogy_bytes(self.genealogy)
+            + 16 * len(self.genealogy_children or ())
+        )
 
 
 @dataclass(frozen=True)

@@ -5,10 +5,13 @@ of the naming database.  Replicas are kept loosely consistent by
 
 * **eager push** — every accepted write is immediately pushed to all
   peer servers (best effort; drops across a partition), and
-* **periodic anti-entropy** — a three-message push-pull digest exchange
-  with one peer per gossip tick, which is also what reconciles the
-  databases after a partition heals (no special heal-detection needed:
-  the first gossip that crosses the healed cut *is* the reconciliation).
+* **periodic anti-entropy** — a bounded Merkle-prefix descent with one
+  peer per gossip tick (PROTOCOLS.md §16): replicas compare subtree
+  hashes root-down and ship records only for divergent leaves, which is
+  also what reconciles the databases after a partition heals (no
+  special heal-detection needed: the first gossip that crosses the
+  healed cut *is* the reconciliation).  Identical replicas still
+  short-circuit after two messages on the root content hash.
 
 After every mutation the server checks for inconsistent mappings and
 fires MULTIPLE-MAPPINGS callbacks at the affected LWG-view coordinators.
@@ -16,7 +19,7 @@ fires MULTIPLE-MAPPINGS callbacks at the affected LWG-view coordinators.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.interfaces import NodeId, Runtime
 from ..sim.process import Process
@@ -30,9 +33,14 @@ from .messages import (
     PushUpdate,
     SyncReply,
     SyncRequest,
-    SyncUpdate,
 )
-from .reconciliation import absorb, genealogy_to_send, records_to_send
+from .reconciliation import (
+    DEFAULT_MAX_SYNC_ROUNDS,
+    MerkleSession,
+    ReconcileResult,
+    SyncDelta,
+    absorb,
+)
 
 
 class NameServer(Process):
@@ -45,6 +53,7 @@ class NameServer(Process):
         peers: Sequence[NodeId] = (),
         gossip_period_us: int = 500_000,
         renotify_period_us: int = 600_000,
+        max_sync_rounds: int = DEFAULT_MAX_SYNC_ROUNDS,
     ):
         super().__init__(env, node)
         self.db = NamingDatabase()
@@ -59,9 +68,14 @@ class NameServer(Process):
         )
         self._gossip_index = 0
         self._sync_counter = 0
+        #: Live descent sessions, keyed by ``(peer, sync_id)``.  At most
+        #: one per peer: a new exchange supersedes an unfinished one.
+        self._sessions: Dict[Tuple[NodeId, int], MerkleSession] = {}
+        self.max_sync_rounds = max_sync_rounds
         self.requests_served = 0
         self.syncs_started = 0
         self.syncs_short_circuited = 0
+        self.syncs_capped = 0
         if self.peers:
             self.set_periodic(gossip_period_us, self.gossip_tick, jitter_stream=f"ns:{node}")
         self.set_periodic(renotify_period_us, self._notifier_tick)
@@ -80,8 +94,8 @@ class NameServer(Process):
         elif isinstance(msg, SyncRequest):
             self._on_sync_request(src, msg)
         elif isinstance(msg, SyncReply):
-            self._on_sync_reply(src, msg)
-        elif isinstance(msg, (SyncUpdate, PushUpdate)):
+            self._on_sync_step(src, msg)
+        elif isinstance(msg, PushUpdate):
             self._absorb_remote(msg.records, msg.genealogy)
 
     # ------------------------------------------------------------------
@@ -123,19 +137,26 @@ class NameServer(Process):
     # Anti-entropy
     # ------------------------------------------------------------------
     def gossip_tick(self) -> None:
-        """Start a push-pull exchange with the next peer (round-robin)."""
+        """Open a Merkle descent with the next peer (round-robin)."""
         if not self.peers:
             return
         peer = self.peers[self._gossip_index % len(self.peers)]
         self._gossip_index += 1
+        # A fresh exchange supersedes any unfinished session with this
+        # peer (e.g. one cut short by a partition or the round cap).
+        for key in [k for k in self._sessions if k[0] == peer]:
+            del self._sessions[key]
         self._sync_counter += 1
         self.syncs_started += 1
+        session = MerkleSession(self.db)
+        delta = session.opener()
+        self._sessions[(peer, self._sync_counter)] = session
         request = SyncRequest(
             sender=self.node,
             sync_id=self._sync_counter,
-            digest=self.db.digest(),
-            genealogy_children=tuple(self.db.genealogy_edges()),
             db_hash=self.db.content_hash(),
+            expansions=delta.expansions,
+            genealogy_children=delta.genealogy_children,
         )
         self.send(peer, request, request.size_bytes())
 
@@ -146,31 +167,86 @@ class NameServer(Process):
             ack = SyncReply(sender=self.node, sync_id=msg.sync_id, in_sync=True)
             self.send(src, ack, ack.size_bytes())
             return
+        for key in [k for k in self._sessions if k[0] == src and k[1] != msg.sync_id]:
+            del self._sessions[key]
+        session = MerkleSession(self.db)
+        self._sessions[(src, msg.sync_id)] = session
+        out = session.handle(
+            SyncDelta(
+                expansions=msg.expansions,
+                genealogy_children=msg.genealogy_children,
+            )
+        )
+        self._note_absorb(session.last_absorb)
+        if out is None:
+            # Hashes differed but the opener alone resolved it (cannot
+            # happen today — the opener always invites a genealogy
+            # reply — but kept as a safe exit).
+            del self._sessions[(src, msg.sync_id)]
+            return
+        self._send_step(src, msg.sync_id, 1, out)
+
+    def _on_sync_step(self, src: NodeId, msg: SyncReply) -> None:
+        if msg.in_sync:
+            self._sessions.pop((src, msg.sync_id), None)
+            return
+        session = self._sessions.get((src, msg.sync_id))
+        if session is None:
+            if msg.round_no > self.max_sync_rounds:
+                # Refuse to resurrect a capped/stale session forever.
+                return
+            # Step for a session we no longer track (superseded, or we
+            # crashed mid-descent).  Every step is self-describing, so a
+            # fresh session answers it correctly.
+            session = MerkleSession(self.db)
+            self._sessions[(src, msg.sync_id)] = session
+        out = session.handle(
+            SyncDelta(
+                expansions=msg.expansions,
+                leaf_digests=msg.leaf_digests,
+                records=msg.records,
+                genealogy=msg.genealogy,
+                genealogy_children=msg.genealogy_children,
+            )
+        )
+        self._note_absorb(session.last_absorb)
+        if out is None:
+            # Converged: nothing left to ship from this side.
+            del self._sessions[(src, msg.sync_id)]
+            return
+        if msg.round_no + 1 > self.max_sync_rounds:
+            # Round cap: drop the session without replying; the next
+            # gossip tick restarts from the (strictly closer) new state.
+            self.syncs_capped += 1
+            self.env.tracer.emit(
+                "naming", "sync_round_cap", server=self.node, peer=src, sync_id=msg.sync_id
+            )
+            del self._sessions[(src, msg.sync_id)]
+            return
+        self._send_step(src, msg.sync_id, msg.round_no + 1, out)
+
+    def _send_step(self, peer: NodeId, sync_id: int, round_no: int, delta: SyncDelta) -> None:
         reply = SyncReply(
             sender=self.node,
-            sync_id=msg.sync_id,
-            records=tuple(records_to_send(self.db, msg.digest)),
-            genealogy=genealogy_to_send(self.db, msg.genealogy_children),
-            digest=self.db.digest(),
-            genealogy_children=tuple(self.db.genealogy_edges()),
+            sync_id=sync_id,
+            round_no=round_no,
+            expansions=delta.expansions,
+            leaf_digests=delta.leaf_digests,
+            records=delta.records,
+            genealogy=delta.genealogy,
+            genealogy_children=delta.genealogy_children,
         )
-        self.send(src, reply, reply.size_bytes())
+        self.send(peer, reply, reply.size_bytes())
 
-    def _on_sync_reply(self, src: NodeId, msg: SyncReply) -> None:
-        if msg.in_sync:
-            return
-        self._absorb_remote(msg.records, msg.genealogy)
-        update = SyncUpdate(
-            sender=self.node,
-            sync_id=msg.sync_id,
-            records=tuple(records_to_send(self.db, msg.digest)),
-            genealogy=genealogy_to_send(self.db, msg.genealogy_children),
-        )
-        if update.records or update.genealogy:
-            self.send(src, update, update.size_bytes())
+    def on_crash(self) -> None:
+        # In-flight descents die with the process; peers' stale steps
+        # after recovery are answered by fresh self-describing sessions.
+        self._sessions.clear()
 
     def _absorb_remote(self, records, genealogy) -> None:
-        result = absorb(self.db, records, genealogy)
+        self._note_absorb(absorb(self.db, records, genealogy))
+
+    def _note_absorb(self, result: ReconcileResult) -> None:
         if result.applied or result.gc_removed:
             self.env.tracer.emit(
                 "naming",

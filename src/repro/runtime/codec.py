@@ -7,8 +7,10 @@ on the hot path, and its frames carry class paths and field names that
 the receiver already knows.  :class:`CompactCodec` replaces it with a
 versioned tag-length-value encoding for the high-rate message types
 (LWG ``DATA``, LWG batches, the ordered data path and its stability
-acks) and keeps pickle as the fallback for the long tail of control
-messages, which are rare enough that convenience wins.
+acks, and the naming anti-entropy descent — ``SyncRequest`` /
+``SyncReply`` with their nested digest maps and mapping records) and
+keeps pickle as the fallback for the long tail of control messages,
+which are rare enough that convenience wins.
 
 Framing (network byte order throughout)::
 
@@ -30,6 +32,8 @@ import struct
 from typing import Any, Callable, Dict, List, Tuple
 
 from ..core.messages import LwgBatch, LwgData
+from ..naming.messages import SyncReply, SyncRequest
+from ..naming.records import MappingRecord
 from ..vsync.messages import Ordered, Publish, StabilityAck
 from ..vsync.view import ViewId
 from .interfaces import NodeId
@@ -46,11 +50,15 @@ _STR = 0x04
 _BYTES = 0x05
 _TUPLE = 0x06
 _VIEW_ID = 0x07
+_DICT = 0x08
 _LWG_DATA = 0x10
 _LWG_BATCH = 0x11
 _PUBLISH = 0x12
 _ORDERED = 0x13
 _STABILITY_ACK = 0x14
+_MAPPING_RECORD = 0x15
+_SYNC_REQUEST = 0x16
+_SYNC_REPLY = 0x17
 _PICKLE = 0x7F
 
 _I64_MIN = -(1 << 63)
@@ -104,6 +112,19 @@ def _w_lwg_data_body(out: List[bytes], message: LwgData) -> None:
     out.append(_I64.pack(message.payload_size))
 
 
+def _w_mapping_record_body(out: List[bytes], record: MappingRecord) -> None:
+    _w_str(out, record.lwg)
+    _w_view_id(out, record.lwg_view)
+    out.append(_U32.pack(len(record.lwg_members)))
+    for member in record.lwg_members:
+        _w_str(out, member)
+    _w_str(out, record.hwg)
+    _w_view_id(out, record.hwg_view)
+    out.append(_I64.pack(record.version))
+    _w_str(out, record.writer)
+    out.append(bytes((_TRUE if record.deleted else _FALSE,)))
+
+
 def _w_value(out: List[bytes], value: Any) -> None:
     kind = type(value)
     if value is None:
@@ -125,9 +146,36 @@ def _w_value(out: List[bytes], value: Any) -> None:
         out.append(_U32.pack(len(value)))
         for item in value:
             _w_value(out, item)
+    elif kind is dict:
+        out.append(bytes((_DICT,)))
+        out.append(_U32.pack(len(value)))
+        for key, item in value.items():
+            _w_value(out, key)
+            _w_value(out, item)
     elif kind is ViewId:
         out.append(bytes((_VIEW_ID,)))
         _w_view_id(out, value)
+    elif kind is MappingRecord:
+        out.append(bytes((_MAPPING_RECORD,)))
+        _w_mapping_record_body(out, value)
+    elif kind is SyncRequest:
+        out.append(bytes((_SYNC_REQUEST,)))
+        _w_str(out, value.sender)
+        out.append(_I64.pack(value.sync_id))
+        _w_str(out, value.db_hash)
+        _w_value(out, value.expansions)
+        _w_value(out, value.genealogy_children)
+    elif kind is SyncReply:
+        out.append(bytes((_SYNC_REPLY,)))
+        _w_str(out, value.sender)
+        out.append(_I64.pack(value.sync_id))
+        out.append(_I64.pack(value.round_no))
+        out.append(bytes((_TRUE if value.in_sync else _FALSE,)))
+        _w_value(out, value.expansions)
+        _w_value(out, value.leaf_digests)
+        _w_value(out, value.records)
+        _w_value(out, value.genealogy)
+        _w_value(out, value.genealogy_children)
     elif kind is LwgData:
         out.append(bytes((_LWG_DATA,)))
         _w_lwg_data_body(out, value)
@@ -223,6 +271,29 @@ def _r_lwg_data_body(data: bytes, offset: int) -> Tuple[LwgData, int]:
     )
 
 
+def _r_mapping_record_body(data: bytes, offset: int) -> Tuple[MappingRecord, int]:
+    lwg, offset = _r_str(data, offset)
+    lwg_view, offset = _r_view_id(data, offset)
+    count, offset = _r_u32(data, offset)
+    members: List[str] = []
+    for _ in range(count):
+        member, offset = _r_str(data, offset)
+        members.append(member)
+    hwg, offset = _r_str(data, offset)
+    hwg_view, offset = _r_view_id(data, offset)
+    version, offset = _r_i64(data, offset)
+    writer, offset = _r_str(data, offset)
+    deleted, offset = _r_value(data, offset)
+    return (
+        MappingRecord(
+            lwg=lwg, lwg_view=lwg_view, lwg_members=tuple(members),
+            hwg=hwg, hwg_view=hwg_view, version=version, writer=writer,
+            deleted=deleted,
+        ),
+        offset,
+    )
+
+
 def _r_value(data: bytes, offset: int) -> Tuple[Any, int]:
     _need(data, offset, 1)
     tag = data[offset]
@@ -248,8 +319,50 @@ def _r_value(data: bytes, offset: int) -> Tuple[Any, int]:
             item, offset = _r_value(data, offset)
             items.append(item)
         return tuple(items), offset
+    if tag == _DICT:
+        count, offset = _r_u32(data, offset)
+        mapping: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, offset = _r_value(data, offset)
+            item, offset = _r_value(data, offset)
+            mapping[key] = item
+        return mapping, offset
     if tag == _VIEW_ID:
         return _r_view_id(data, offset)
+    if tag == _MAPPING_RECORD:
+        return _r_mapping_record_body(data, offset)
+    if tag == _SYNC_REQUEST:
+        sender, offset = _r_str(data, offset)
+        sync_id, offset = _r_i64(data, offset)
+        db_hash, offset = _r_str(data, offset)
+        expansions, offset = _r_value(data, offset)
+        genealogy_children, offset = _r_value(data, offset)
+        return (
+            SyncRequest(
+                sender=sender, sync_id=sync_id, db_hash=db_hash,
+                expansions=expansions, genealogy_children=genealogy_children,
+            ),
+            offset,
+        )
+    if tag == _SYNC_REPLY:
+        sender, offset = _r_str(data, offset)
+        sync_id, offset = _r_i64(data, offset)
+        round_no, offset = _r_i64(data, offset)
+        in_sync, offset = _r_value(data, offset)
+        expansions, offset = _r_value(data, offset)
+        leaf_digests, offset = _r_value(data, offset)
+        records, offset = _r_value(data, offset)
+        genealogy, offset = _r_value(data, offset)
+        genealogy_children, offset = _r_value(data, offset)
+        return (
+            SyncReply(
+                sender=sender, sync_id=sync_id, round_no=round_no,
+                in_sync=in_sync, expansions=expansions,
+                leaf_digests=leaf_digests, records=records,
+                genealogy=genealogy, genealogy_children=genealogy_children,
+            ),
+            offset,
+        )
     if tag == _LWG_DATA:
         return _r_lwg_data_body(data, offset)
     if tag == _LWG_BATCH:

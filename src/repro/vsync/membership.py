@@ -160,10 +160,24 @@ class ViewChangeManager:
     def on_leave_request(self, msg: LeaveRequest) -> None:
         if self.ep.state not in (EndpointState.MEMBER, EndpointState.LEAVING):
             return
-        if not self.am_leader():
-            return
         view = self.ep.current_view
-        if view is None or msg.leaver not in view.members:
+        if view is None:
+            return
+        if msg.leaver not in view.members:
+            # The group already moved on without the leaver: it was
+            # excluded as a suspect (e.g. while partitioned away) and is
+            # now retrying a leave against a view that forgot it, which
+            # no round will ever answer.  Release it directly — an
+            # InstallView with no view finishes the leave at a LEAVING
+            # endpoint and is ignored in every other state.
+            self.ep.trace("leave_release_stale", leaver=msg.leaver)
+            self.ep.reliable_send(
+                msg.leaver,
+                InstallView(group=self.ep.group, view=None,
+                            round_no=self.highest_round_seen),
+            )
+            return
+        if not self.am_leader():
             return
         self.pending_leaves.add(msg.leaver)
         self.maybe_start()

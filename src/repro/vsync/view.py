@@ -123,6 +123,12 @@ class ViewGenealogy:
         """Convenience: record a :class:`View`'s parent edges."""
         self.record(view.view_id, view.parents)
 
+    def clone(self) -> "ViewGenealogy":
+        """Independent copy (edge tuples are immutable and shared)."""
+        out = ViewGenealogy()
+        out._parents = dict(self._parents)
+        return out
+
     def parents_of(self, view_id: ViewId) -> Tuple[ViewId, ...]:
         return self._parents.get(view_id, ())
 

@@ -180,3 +180,35 @@ def test_content_hash_is_cached_until_mutation():
     assert not db.apply(rec("lwg:a", ViewId("p", 1), "hwg:OLD", version=0))
     # A rejected stale write leaves the content (and its hash) alone.
     assert db.content_hash() == db.content_hash()
+
+
+def test_lww_losing_record_with_new_genealogy_still_collects():
+    """Regression: GC must run when a rejected record carried new edges.
+
+    A replica already holds the merged view's mapping at a high version
+    plus a stale pre-merge mapping whose ancestry it does not know yet.
+    An older copy of the merged record arrives (loses last-writer-wins)
+    but carries the merge genealogy.  The edges are new knowledge that
+    obsoletes the pre-merge record; before the fix apply() returned
+    False without collecting, so the stale mapping lingered until an
+    unrelated mutation of the same LWG.
+    """
+    db = NamingDatabase()
+    old, merged = ViewId("p0", 1), ViewId("p0", 2)
+    db.apply(rec("lwg:a", old, "hwg:1"))
+    db.apply(rec("lwg:a", merged, "hwg:2", version=5))
+    assert len(db.live_records("lwg:a")) == 2  # ancestry unknown yet
+    losing = rec("lwg:a", merged, "hwg:STALE", version=2)
+    assert not db.apply(losing, parents=[old])
+    records = db.live_records("lwg:a")
+    assert [r.lwg_view for r in records] == [merged]
+    assert records[0].hwg == "hwg:2"  # the losing copy itself was rejected
+
+
+def test_lww_losing_record_without_genealogy_skips_gc_scan():
+    db = NamingDatabase()
+    view = ViewId("p0", 1)
+    db.apply(rec("lwg:a", view, "hwg:1", version=3))
+    before = db.content_hash()
+    assert not db.apply(rec("lwg:a", view, "hwg:OLD", version=1))
+    assert db.content_hash() == before

@@ -187,3 +187,139 @@ def test_delta_exchange_converges_to_the_full_exchange_state():
         assert [r.lwg_view for r in db.live_records("lwg:evolving")] == [
             ViewId("q", 2)
         ]
+
+
+# ----------------------------------------------------------------------
+# Merkle-prefix descent (PROTOCOLS.md §16)
+# ----------------------------------------------------------------------
+def _exchange(left, right):
+    from repro.naming.reconciliation import merkle_exchange
+
+    transcript = merkle_exchange(left, right)
+    assert databases_identical([left, right])
+    return transcript
+
+
+def test_merkle_exchange_between_identical_replicas_is_one_step():
+    left, right = NamingDatabase(), NamingDatabase()
+    shared = rec("lwg:a", ViewId("p", 1), "hwg:1")
+    left.apply(shared)
+    right.apply(shared)
+    transcript = _exchange(left, right)
+    # The opener travels; the receiver sees equal hashes everywhere and
+    # has nothing to say back (the server short-circuits even earlier,
+    # on content_hash, before any descent message is built).
+    assert len(transcript) == 1
+
+
+def test_merkle_exchange_one_sided_divergence():
+    left, right = NamingDatabase(), NamingDatabase()
+    for i in range(12):
+        shared = rec(f"lwg:s{i}", ViewId("p", i + 1), "hwg:1")
+        left.apply(shared)
+        right.apply(shared)
+    left.apply(rec("lwg:only-left", ViewId("pl", 1), "hwg:2"))
+    _exchange(left, right)
+    assert right.record_for(("lwg:only-left", ViewId("pl", 1))) is not None
+
+
+def test_merkle_exchange_into_empty_replica_ships_everything():
+    left, right = NamingDatabase(), NamingDatabase()
+    for i in range(20):
+        left.apply(rec(f"lwg:{i}", ViewId("p", i + 1), "hwg:1"))
+    _exchange(left, right)
+    assert len(right) == 20
+
+
+def test_merkle_exchange_tombstone_only_divergence():
+    """A deletion is content: the tombstone must travel and win LWW."""
+    left, right = NamingDatabase(), NamingDatabase()
+    view = ViewId("p", 1)
+    shared = rec("lwg:a", view, "hwg:1")
+    left.apply(shared)
+    right.apply(shared)
+    left.apply(rec("lwg:a", view, "hwg:1", version=2, deleted=True))
+    assert not databases_identical([left, right])
+    _exchange(left, right)
+    assert right.record_for(("lwg:a", view)).deleted
+    assert right.live_records("lwg:a") == []
+
+
+def test_merkle_exchange_remote_newer_digest_entries():
+    """Both directions of a same-key version race resolve to the winner."""
+    left, right = NamingDatabase(), NamingDatabase()
+    va, vb = ViewId("p", 1), ViewId("p", 2)
+    for db in (left, right):
+        db.apply(rec("lwg:a", va, "hwg:1"))
+        db.apply(rec("lwg:b", vb, "hwg:1"))
+    left.apply(rec("lwg:a", va, "hwg:NEW-A", version=3))
+    right.apply(rec("lwg:b", vb, "hwg:NEW-B", version=3))
+    _exchange(left, right)
+    for db in (left, right):
+        assert db.record_for(("lwg:a", va)).hwg == "hwg:NEW-A"
+        assert db.record_for(("lwg:b", vb)).hwg == "hwg:NEW-B"
+
+
+def test_merkle_exchange_genealogy_only_divergence():
+    """Edges with no record delta still travel and still trigger GC."""
+    left, right = NamingDatabase(), NamingDatabase()
+    old, new = ViewId("p", 1), ViewId("p", 2)
+    for db in (left, right):
+        db.apply(rec("lwg:a", old, "hwg:1"))
+        db.apply(rec("lwg:a", new, "hwg:2", version=2))
+    # Only left learns the ancestry (e.g. from the registering writer):
+    # it garbage-collects the old mapping immediately.
+    left.absorb_genealogy({new: (old,)})
+    assert left.garbage_collect() == 1
+    assert not databases_identical([left, right])
+    _exchange(left, right)
+    # Right learned the edge through the exchange and collected too.
+    assert [r.lwg_view for r in right.live_records("lwg:a")] == [new]
+
+
+def test_merkle_exchange_bidirectional_bulk_divergence():
+    left, right = NamingDatabase(), NamingDatabase()
+    for i in range(50):
+        shared = rec(f"lwg:s{i}", ViewId("ps", i + 1), "hwg:1")
+        left.apply(shared)
+        right.apply(shared)
+    for i in range(7):
+        left.apply(rec(f"lwg:l{i}", ViewId("pl", i + 1), "hwg:2"))
+        right.apply(rec(f"lwg:r{i}", ViewId("pr", i + 1), "hwg:3"))
+    transcript = _exchange(left, right)
+    assert len(left) == len(right) == 64
+    # Only the divergent records travel, not the shared base.
+    shipped = sum(len(delta.records) for _, delta in transcript)
+    assert shipped == 14
+
+
+def test_merkle_exchange_respects_round_cap():
+    from repro.naming.reconciliation import merkle_exchange
+
+    left, right = NamingDatabase(), NamingDatabase()
+    for i in range(10):
+        left.apply(rec(f"lwg:l{i}", ViewId("pl", i + 1), "hwg:1"))
+        right.apply(rec(f"lwg:r{i}", ViewId("pr", i + 1), "hwg:2"))
+    transcript = merkle_exchange(left, right, max_rounds=1)
+    assert len(transcript) == 1  # opener only — no convergence
+    assert not databases_identical([left, right])
+
+
+def test_merkle_session_answers_steps_without_prior_state():
+    """Steps are self-describing: a fresh session can answer any of them."""
+    from repro.naming.reconciliation import MerkleSession
+
+    left, right = NamingDatabase(), NamingDatabase()
+    for i in range(6):
+        left.apply(rec(f"lwg:{i}", ViewId("p", i + 1), "hwg:1"))
+    opener = MerkleSession(left).opener()
+    # The responder session is created, answers, and is thrown away
+    # between every step (simulating crash/teardown on its side).
+    step = opener
+    sides = [right, left]
+    for hop in range(16):
+        out = MerkleSession(sides[hop % 2]).handle(step)
+        if out is None:
+            break
+        step = out
+    assert databases_identical([left, right])

@@ -150,3 +150,75 @@ def test_oversize_payload_raises_typed_error():
         assert isinstance(excinfo.value, ValueError)
     finally:
         runtime.close()
+
+
+# ----------------------------------------------------------------------
+# Naming anti-entropy round trips
+# ----------------------------------------------------------------------
+def _mapping_record(i=1, deleted=False):
+    from repro.naming.records import MappingRecord
+
+    return MappingRecord(
+        lwg=f"lwg:{i}", lwg_view=ViewId("p0", i), lwg_members=("p0", "p1"),
+        hwg="hwg:9", hwg_view=ViewId("h", i), version=i, writer="p0",
+        deleted=deleted,
+    )
+
+
+def test_dict_payloads_roundtrip():
+    nested = {"": {"a": "1f2e", "b": "9c"}, "a3": {}}
+    src, decoded, _ = roundtrip(nested)
+    assert decoded == nested and type(decoded) is dict
+    # Tuple keys (RecordKey shape) survive too.
+    digest = {("lwg:x", ViewId("p0", 4)): (2, "p0")}
+    assert roundtrip(digest)[1] == digest
+
+
+def test_mapping_record_roundtrips():
+    for record in (_mapping_record(3), _mapping_record(4, deleted=True)):
+        _, decoded, _ = roundtrip(record)
+        assert decoded == record and type(decoded) is type(record)
+
+
+def test_sync_request_roundtrips():
+    from repro.naming.messages import SyncRequest
+
+    message = SyncRequest(
+        sender="nsA", sync_id=7, db_hash="ab" * 8,
+        expansions={"": {"0": "dead", "f": "beef"}},
+        genealogy_children=(ViewId("p0", 1), ViewId("p5", 2)),
+    )
+    _, decoded, _ = roundtrip(message)
+    assert decoded == message and type(decoded) is SyncRequest
+    bare = SyncRequest(sender="nsA", sync_id=8, db_hash="cd" * 8)
+    assert roundtrip(bare)[1] == bare  # genealogy_children=None survives
+
+
+def test_sync_reply_roundtrips():
+    from repro.naming.messages import SyncReply
+
+    message = SyncReply(
+        sender="nsB", sync_id=7, round_no=3,
+        expansions={"a": {"0": "00ff"}},
+        leaf_digests={"a3f0": {("lwg:1", ViewId("p0", 1)): (1, "p0")}, "b": {}},
+        records=(_mapping_record(1), _mapping_record(2, deleted=True)),
+        genealogy={ViewId("p0", 2): (ViewId("p0", 1),)},
+        genealogy_children=(ViewId("p0", 2),),
+    )
+    _, decoded, _ = roundtrip(message)
+    assert decoded == message and type(decoded) is SyncReply
+    in_sync = SyncReply(sender="nsB", sync_id=9, in_sync=True)
+    assert roundtrip(in_sync)[1] == in_sync
+
+
+def test_sync_messages_avoid_pickle_frames():
+    from repro.naming.messages import SyncReply
+
+    message = SyncReply(
+        sender="nsB", sync_id=1, round_no=1,
+        records=(_mapping_record(1),),
+        genealogy={ViewId("p0", 2): (ViewId("p0", 1),)},
+    )
+    frame = CompactCodec().encode("p0", message, 128)
+    assert frame[0] == MAGIC
+    assert b"SyncReply" not in frame  # no pickled class path inside

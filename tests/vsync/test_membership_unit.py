@@ -3,7 +3,13 @@
 from repro.sim import SimEnv
 from repro.vsync.flush import FlushParticipant
 from repro.vsync.membership import EndpointState, ViewChangeManager
-from repro.vsync.messages import MergeDecline, MergeRequest, Presence
+from repro.vsync.messages import (
+    InstallView,
+    LeaveRequest,
+    MergeDecline,
+    MergeRequest,
+    Presence,
+)
 from repro.vsync.total_order import OrderedChannel
 from repro.vsync.view import View, ViewId
 
@@ -215,3 +221,40 @@ def test_refresh_request_starts_identity_round(env):
     endpoint = make(env, node="p0")
     endpoint.vcm.request_refresh()
     assert endpoint.vcm.round is not None
+
+
+def test_leave_request_from_forgotten_node_gets_release(env):
+    """A leaver the view already excluded must be released, not ignored.
+
+    Regression: a node that started leaving while partitioned away is
+    excluded from the view as a suspect; after the heal its leave
+    retries target a view that forgot it, and without an explicit
+    release its endpoint stays wedged in LEAVING forever (and can never
+    rejoin the group).
+    """
+    endpoint = make(env, node="p0")  # view members p0,p1,p2 — no p9
+    endpoint.vcm.on_leave_request(LeaveRequest(group="g", leaver="p9"))
+    releases = [
+        (dst, m) for dst, m in endpoint.sent
+        if isinstance(m, InstallView) and m.view is None
+    ]
+    assert releases == [("p9", releases[0][1])]
+    assert endpoint.vcm.round is None  # no view change for a ghost leaver
+
+
+def test_leave_request_from_member_still_starts_round(env):
+    endpoint = make(env, node="p0")
+    endpoint.vcm.on_leave_request(LeaveRequest(group="g", leaver="p2"))
+    assert endpoint.vcm.round is not None
+    assert "p2" in endpoint.vcm.round.leaves
+    # No release short-circuit for a live member.
+    assert not any(
+        isinstance(m, InstallView) and m.view is None for _, m in endpoint.sent
+    )
+
+
+def test_leave_request_at_non_leader_member_is_ignored(env):
+    endpoint = make(env, node="p1")  # p0 coordinates
+    endpoint.vcm.on_leave_request(LeaveRequest(group="g", leaver="p2"))
+    assert endpoint.vcm.round is None
+    assert endpoint.sent == []
