@@ -105,7 +105,16 @@ def main() -> None:
     print("\n== Gateway p3 fails; every equities+derivatives subject heals ==")
     affected = [s for seg in GATEWAY_SEGMENTS["p3"] for s in SEGMENTS[seg]]
     cluster.crash("p3")
-    cluster.run_for_seconds(3)
+    # Wait for the failure detector + view changes rather than a fixed
+    # sleep: mid-reconfiguration a handle briefly has no installed view.
+    cluster.run_until(
+        lambda: all(
+            handles[(subject, "p2")].view is not None
+            and "p3" not in handles[(subject, "p2")].view.members
+            for subject in affected
+        ),
+        timeout_us=30 * SECOND,
+    )
     healthy = sum(
         1
         for subject in affected

@@ -13,6 +13,7 @@ from .lwg import (
     MergeRoundChecker,
 )
 from .naming import GenealogyGcChecker, NamingConvergenceChecker
+from .recovery import RecoveryConvergenceChecker
 from .vsync import DeliveryChecker, ViewAgreementChecker
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "LwgConvergenceChecker",
     "GenealogyGcChecker",
     "NamingConvergenceChecker",
+    "RecoveryConvergenceChecker",
 ]

@@ -110,6 +110,7 @@ class CheckerSuite:
             MergeRoundChecker,
         )
         from .naming import GenealogyGcChecker, NamingConvergenceChecker
+        from .recovery import RecoveryConvergenceChecker
         from .vsync import DeliveryChecker, ViewAgreementChecker
 
         suite = cls(raise_immediately=raise_immediately)
@@ -121,6 +122,7 @@ class CheckerSuite:
         suite.add(GenealogyGcChecker())
         suite.add(NamingConvergenceChecker())
         suite.add(LwgConvergenceChecker())
+        suite.add(RecoveryConvergenceChecker())
         return suite
 
     def add(self, checker: Checker) -> Checker:

@@ -53,6 +53,15 @@ class LwgConfig:
     #: coordinator is alive and still an HWG member, it just no longer
     #: maps this LWG here.  Keep this a few announce periods long.
     coordinator_silence_us: int = 6 * SECOND
+    #: Coordinators re-read the naming service at this period and
+    #: re-register their mapping if the record is gone.  Replication
+    #: normally outlives any single server failure, but a record written
+    #: to one replica inside a partition can be destroyed (crash with a
+    #: corrupted store) before anti-entropy spreads it — and a *missing*
+    #: record raises no MULTIPLE-MAPPINGS callback, so only the
+    #: authoritative writer can notice.  This audit is the self-healing
+    #: backstop for that silent-loss case.
+    mapping_audit_period_us: int = 4 * SECOND
     #: Default payload size assumed for user messages without one.
     default_payload_bytes: int = 256
     #: Data-path batching: coalesce LWG DATA payloads bound for the same

@@ -42,6 +42,8 @@ class JoinDriver:
         self._timer = None
         self._epoch = 0  # bumps on every retarget; stale timers check it
         self._acted_epoch = -1  # guards one action per (re)target
+        self._last_signature: Optional[frozenset] = None
+        self._futile_rounds = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -79,6 +81,15 @@ class JoinDriver:
         if self.done:
             return
         live = [r for r in records if not r.deleted]
+        signature = frozenset((r.lwg_view, r.hwg, r.version, r.writer) for r in live)
+        if live and signature == self._last_signature:
+            self._futile_rounds += 1
+        else:
+            self._futile_rounds = 0
+        self._last_signature = signature
+        if live and self._futile_rounds >= 2:
+            self._bury_dead_mappings(live)
+            return
         if live:
             # Prefer the mapping on the highest-gid HWG (Section 6.2 rule).
             best_hwg = highest_gid({r.hwg for r in live})
@@ -86,6 +97,37 @@ class JoinDriver:
         else:
             chosen = self.svc.mapping_policy.choose(self.lwg, self.svc)
             self._target(chosen or self.svc.mint_hwg_id(), mode="create")
+
+    def _bury_dead_mappings(self, live: Sequence[MappingRecord]) -> None:
+        """Nobody behind these records answered across two full
+        join->claim cycles: the recorded views are dead — every member
+        crashed without the graceful leave that would have tombstoned
+        the mapping — or partitioned away from us.  Bury each record
+        with the *weakest possible* tombstone: same version and writer
+        with ``deleted`` flipped, which outranks only that exact twin
+        in the LWW order.  Our claim can then go through, while any
+        later write by the true coordinator (always a higher version)
+        immediately overrides the burial and normal reconciliation
+        merges the two lineages.
+        """
+        self.svc.trace("lwg_join_bury_dead", lwg=self.lwg, buried=len(live))
+        for r in sorted(live, key=lambda rec: (rec.lwg_view, rec.hwg)):
+            self.svc.naming.unset(
+                MappingRecord(
+                    lwg=r.lwg,
+                    lwg_view=r.lwg_view,
+                    lwg_members=r.lwg_members,
+                    hwg=r.hwg,
+                    hwg_view=r.hwg_view,
+                    version=r.version,
+                    writer=r.writer,
+                    deleted=True,
+                )
+            )
+        self._futile_rounds = 0
+        self._last_signature = None
+        self._epoch += 1
+        self._arm(self.svc.config.join_claim_us, self._read_naming)
 
     # ------------------------------------------------------------------
     # Step 2: get onto the HWG

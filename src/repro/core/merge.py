@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..naming.messages import MultipleMappings
-from ..naming.records import HwgId, LwgId
+from ..naming.records import HwgId, LwgId, MappingRecord
 from ..vsync.view import View, ViewId
 from .ids import highest_gid
 from .lwg_view import merge_lwg_views
@@ -342,9 +342,11 @@ class ReconciliationHandler:
         self.svc = service
         self.callbacks_received = 0
         self.switches_initiated = 0
+        self.views_disowned = 0
 
     def on_multiple_mappings(self, message: MultipleMappings) -> None:
         self.callbacks_received += 1
+        disowned = self._disown_defunct_views(message)
         local = self.svc.table.local(message.lwg)
         if local is None or not local.is_member or local.view is None:
             return
@@ -352,7 +354,10 @@ class ReconciliationHandler:
             return  # only the view coordinator reconciles
         if local.switch_epoch is not None:
             return  # already switching
-        live = [r for r in message.records if not r.deleted]
+        live = [
+            r for r in message.records
+            if not r.deleted and r.lwg_view not in disowned
+        ]
         my_record = [r for r in live if r.lwg_view == local.view.view_id]
         if not my_record:
             return  # the callback is about views we already superseded
@@ -369,3 +374,79 @@ class ReconciliationHandler:
         )
         self.switches_initiated += 1
         self.svc.start_switch(local, winner, reason="reconciliation")
+
+    def _disown_defunct_views(self, message: MultipleMappings) -> Set[ViewId]:
+        """Tombstone records citing views this node is entitled to retire.
+
+        Two authorities apply, per record:
+
+        * **Minting** — only this node mints ``ViewId(self.node, *)``
+          (durable view-seq makes those ids unique across crashes, and a
+          hash-minted merged id always has its nominal coordinator as a
+          member), so a live record citing one that is not our current
+          view of the LWG is defunct — typically resurrected by a
+          corrupted name-server store after every replica holding the
+          superseding genealogy was lost.
+        * **Succession** — as the live *coordinator* of a branch, any
+          record citing a view in our ancestor set is superseded by our
+          own registered mapping, whoever minted it.  This retires the
+          record of a dead fork (e.g. a merged view whose nominal
+          coordinator crashed for good) that no other authority can
+          clean up.
+
+        Returns the disowned view ids so the caller's switch logic can
+        ignore them this round (the tombstones land asynchronously).
+        """
+        node = self.svc.node
+        local = self.svc.table.local(message.lwg)
+        member = local is not None and local.is_member and local.view is not None
+        current = local.view.view_id if member else None
+        disowned: Set[ViewId] = set()
+        refreshed = False
+        for record in message.records:
+            if record.deleted or record.lwg_view == current:
+                continue
+            minted_here = record.lwg_view.coordinator == node
+            superseded = (
+                member
+                and local.coordinator() == node
+                and local.ancestors.is_stale(record.lwg_view)
+            )
+            if not minted_here and not superseded:
+                continue
+            if member and record.hwg == local.hwg:
+                # The record cites a view we moved past but still points
+                # at the HWG our live branch occupies — if newer records
+                # were lost (corrupted replica), it is the branch's only
+                # discovery beacon, and retiring it would strand the
+                # branch in an unmergeable split.  The coordinator plants
+                # a fresh beacon first; a mere member leaves the record
+                # alone (its coordinator re-registers on the next HWG
+                # view change).
+                if local.coordinator() != node:
+                    continue
+                if not refreshed:
+                    self.svc.register_mapping(local)
+                    refreshed = True
+            version = max(self.svc.naming.next_version(), record.version + 1)
+            self.svc.naming.observe_version(version)
+            self.svc.trace(
+                "disown_defunct_view",
+                lwg=message.lwg,
+                view=str(record.lwg_view),
+            )
+            self.svc.naming.unset(
+                MappingRecord(
+                    lwg=record.lwg,
+                    lwg_view=record.lwg_view,
+                    lwg_members=record.lwg_members,
+                    hwg=record.hwg,
+                    hwg_view=record.hwg_view,
+                    version=version,
+                    writer=node,
+                    deleted=True,
+                )
+            )
+            self.views_disowned += 1
+            disowned.add(record.lwg_view)
+        return disowned

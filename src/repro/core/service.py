@@ -208,6 +208,12 @@ class LwgService:
             self._tick_announcements,
             jitter_stream=f"announce:{self.node}",
         )
+        if self.config.enable_reconciliation:
+            stack.set_periodic(
+                self.config.mapping_audit_period_us,
+                self._tick_mapping_audit,
+                jitter_stream=f"audit:{self.node}",
+            )
 
     def _on_crash_transition(self, crashed: bool) -> None:
         """Fail-stop semantics: a crashed process loses all LWG state.
@@ -1136,6 +1142,55 @@ class LwgService:
                     view=str(local.view.view_id) if local.view else None,
                 )
                 self._forced_out(local, local.hwg)
+
+    def _tick_mapping_audit(self) -> None:
+        """Self-healing backstop: verify our registered mappings exist.
+
+        A record written to one name-server replica inside a partition
+        can be destroyed — crash plus corrupted store — before
+        anti-entropy replicates it.  A missing record raises no
+        MULTIPLE-MAPPINGS conflict, so no callback covers the loss; the
+        coordinator, as the record's authoritative writer, periodically
+        re-reads the naming service and re-registers.  The fresh write
+        also supersedes a joiner's same-version burial tombstone (its
+        version is strictly higher), un-burying mappings that were
+        declared dead while we were merely unreachable.
+        """
+        for local in self.table.coordinated_lwgs(self.node):
+            if (
+                local.switch_epoch is not None
+                or local.hwg is None
+                or local.view is None
+            ):
+                continue
+            expect = local.view.view_id
+
+            def check(records, lwg=local.lwg, expect=expect):
+                current = self.table.local(lwg)
+                if (
+                    current is None
+                    or not current.is_member
+                    or current.view is None
+                    or current.view.view_id != expect
+                    or current.switch_epoch is not None
+                    or current.coordinator() != self.node
+                ):
+                    return  # state moved on while the read was in flight
+                # The record must cite our view AND our actual HWG: a
+                # surviving older record for the same view with a stale
+                # hwg field (the newer write was destroyed) hides the
+                # branch just as thoroughly as a missing record.
+                if any(
+                    not r.deleted
+                    and r.lwg_view == expect
+                    and r.hwg == current.hwg
+                    for r in records
+                ):
+                    return
+                self.trace("mapping_reasserted", lwg=lwg, view=str(expect))
+                self.register_mapping(current)
+
+            self.naming.read(local.lwg, check)
 
     def _leave_hwg_if_unused(self, hwg: HwgId) -> None:
         if hwg in self.table.hwgs_in_use():

@@ -16,7 +16,10 @@ Profiles weight the step mix:
 ``partition``  multi-way splits, partial heals (re-partitions with
                coarser blocks), light churn;
 ``churn``      join/leave/crash/recover heavy, occasional splits;
-``mixed``      everything, including message bursts (the default).
+``mixed``      everything, including message bursts (the default);
+``recovery``   crash_recover/corrupt_state heavy — durable-state
+               reloads, incarnation bumps and corrupted stores under
+               concurrent partitions.
 """
 
 from __future__ import annotations
@@ -25,11 +28,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..naming.persistence import CORRUPTION_MODES
 from ..sim.engine import MS
 from ..sim.rng import RngRegistry
 from .schedule import Schedule, Step
 
-PROFILES = ("partition", "churn", "mixed")
+PROFILES = ("partition", "churn", "mixed", "recovery")
 
 #: step kind -> weight, per profile.
 _PROFILE_WEIGHTS: Dict[str, Dict[str, float]] = {
@@ -62,10 +66,27 @@ _PROFILE_WEIGHTS: Dict[str, Dict[str, float]] = {
         "leave": 2.0,
         "burst": 2.0,
         "settle": 0.5,
+        "crash_recover": 0.7,
+        "corrupt_state": 0.5,
+    },
+    "recovery": {
+        "partition": 1.5,
+        "heal": 2.0,
+        "crash": 0.5,
+        "recover": 0.5,
+        "join": 2.0,
+        "leave": 1.0,
+        "burst": 1.0,
+        "settle": 0.5,
+        "crash_recover": 3.0,
+        "corrupt_state": 2.5,
     },
 }
 
 _DELAY_CHOICES_US = (600 * MS, 1_000 * MS, 1_500 * MS, 2_000 * MS)
+
+#: ``crash_recover``/``corrupt_state`` downtime choices.
+_DOWN_CHOICES_US = (200 * MS, 500 * MS, 1_000 * MS, 2_000 * MS)
 
 
 @dataclass
@@ -208,6 +229,26 @@ class ScheduleGenerator:
             elif kind in ("crash", "recover"):
                 steps.append(
                     Step(kind=kind, node=rng.choice(list(processes)), delay_us=delay)
+                )
+            elif kind == "crash_recover":
+                # Processes and name servers alike restart from disk.
+                steps.append(
+                    Step(
+                        kind="crash_recover",
+                        node=rng.choice(list(processes) + list(servers)),
+                        down_us=rng.choice(_DOWN_CHOICES_US),
+                        delay_us=delay,
+                    )
+                )
+            elif kind == "corrupt_state":
+                steps.append(
+                    Step(
+                        kind="corrupt_state",
+                        node=rng.choice(list(servers)),
+                        mode=rng.choice(list(CORRUPTION_MODES)),
+                        down_us=rng.choice(_DOWN_CHOICES_US),
+                        delay_us=delay,
+                    )
                 )
             else:  # heal / settle
                 steps.append(Step(kind=kind, delay_us=delay))

@@ -30,7 +30,8 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ..checkers import InvariantViolation
 from ..core.config import LwgConfig
 from ..core.ids import lwg_id
-from ..sim.engine import SECOND
+from ..naming.persistence import CORRUPTION_MODES, inject_corruption
+from ..sim.engine import MS, SECOND
 from ..workloads.cluster import Cluster
 from .schedule import Schedule, Step
 
@@ -40,6 +41,9 @@ Sabotage = Callable[[Cluster], None]
 
 #: Never crash below this many live processes (mirrors ChurnModel).
 MIN_ALIVE = 2
+
+#: Downtime for crash_recover/corrupt_state steps that don't specify one.
+DEFAULT_DOWN_US = 300 * MS
 
 CLEAN = "clean"
 VIOLATION = "violation"
@@ -147,6 +151,10 @@ class ScheduleRunner:
             self._heal()
         elif kind == "burst":
             self._burst(step.node, step.group, step.count)
+        elif kind == "crash_recover":
+            self._crash_recover(step.node, step.down_us)
+        elif kind == "corrupt_state":
+            self._corrupt_state(step.node, step.mode, step.down_us)
         # "settle" applies nothing; the post-step delay does the work.
 
     def _join(self, node: str, group: str) -> None:
@@ -184,6 +192,54 @@ class ScheduleRunner:
         self.crashed.discard(node)
         # A recovered process restarts with a clean slate; it joins
         # nothing until the schedule says so.
+
+    def _crash_recover(self, node: str, down_us: int) -> None:
+        """Atomic crash + downtime + restart (durable-state reload).
+
+        Atomicity keeps the step shrinker-safe: deleting any *other*
+        step can never leave the node permanently down, and the restart
+        always exercises the recovery path (snapshot+log reload for name
+        servers, incarnation bump for both).
+        """
+        down = down_us or DEFAULT_DOWN_US
+        if node in self.cluster.name_servers:
+            self.cluster.crash(node)
+            self.cluster.run_for(down)
+            self.cluster.recover(node)
+            return
+        if node not in self.cluster.stacks or node in self.crashed:
+            return
+        if len(self.cluster.process_ids) - len(self.crashed) <= MIN_ALIVE:
+            return
+        self.cluster.crash(node)
+        # The restarted process comes back with a clean slate and joins
+        # nothing until the schedule says so (same contract as recover).
+        for members in self.expected.values():
+            members.discard(node)
+        self.cluster.run_for(down)
+        self.cluster.recover(node)
+
+    def _corrupt_state(self, node: str, mode: str, down_us: int) -> None:
+        """Corrupt a name server's durable store, then crash-recover it.
+
+        The crash-recover is part of the step so the corrupted bytes are
+        always *loaded* — corruption that nobody reads back tests
+        nothing.  All randomness (offsets, bits) comes from a dedicated
+        schedule-seeded stream, so replay corrupts identical bytes.
+        """
+        if mode not in CORRUPTION_MODES:
+            return
+        server = self.cluster.name_servers.get(node)
+        if server is None or server.store is None:
+            return
+        rng = self.cluster.env.rng.stream("fuzz:corrupt")
+        detail = inject_corruption(server.store, mode, rng, db=server.db)
+        self.cluster.env.tracer.emit(
+            "recovery", "store_corrupted", node=node, mode=mode, detail=detail
+        )
+        self.cluster.crash(node)
+        self.cluster.run_for(down_us or DEFAULT_DOWN_US)
+        self.cluster.recover(node)
 
     def _partition(self, blocks: Tuple[Tuple[str, ...], ...]) -> None:
         known = set(self.cluster.process_ids) | set(self.cluster.name_server_ids)

@@ -28,6 +28,15 @@ Step kinds
 ``leave``       ``node`` leaves LWG ``group`` (no-op if not a member).
 ``burst``       ``node`` multicasts ``count`` messages to ``group``.
 ``settle``      nothing — just advance time by ``delay_us``.
+``crash_recover``  fail-stop ``node``, keep it down for ``down_us``,
+                then restart it *in one atomic step* — with durable
+                stores the restart reloads the node's snapshot+log and
+                bumps its incarnation.  Works on processes and name
+                servers alike.
+``corrupt_state``  corrupt ``node``'s durable store per ``mode`` (one
+                of the :data:`~repro.naming.persistence.CORRUPTION_MODES`),
+                then crash-recover it so the corrupted bytes are loaded.
+                Name servers only (processes have no naming database).
 
 Every step carries ``delay_us``: how far the simulation advances after
 the action is applied.
@@ -50,6 +59,8 @@ STEP_KINDS = (
     "leave",
     "burst",
     "settle",
+    "crash_recover",
+    "corrupt_state",
 )
 
 #: Default pause after a step (microseconds).
@@ -69,6 +80,11 @@ class Step:
     blocks: Tuple[Tuple[str, ...], ...] = ()
     count: int = 0
     delay_us: int = DEFAULT_DELAY_US
+    #: ``crash_recover``/``corrupt_state``: simulated downtime between
+    #: the crash and the restart.
+    down_us: int = 0
+    #: ``corrupt_state``: which corruption to inject.
+    mode: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in STEP_KINDS:
@@ -84,6 +100,10 @@ class Step:
             body = f"{self.node}:{self.group}"
         elif self.kind in ("crash", "recover"):
             body = self.node
+        elif self.kind == "crash_recover":
+            body = f"{self.node} down {self.down_us // 1000}ms"
+        elif self.kind == "corrupt_state":
+            body = f"{self.node}:{self.mode} down {self.down_us // 1000}ms"
         else:
             body = ""
         suffix = f" +{self.delay_us // 1000}ms"
@@ -99,6 +119,10 @@ class Step:
             out["blocks"] = [list(block) for block in self.blocks]
         if self.count:
             out["count"] = self.count
+        if self.down_us:
+            out["down_us"] = self.down_us
+        if self.mode:
+            out["mode"] = self.mode
         return out
 
     @classmethod
@@ -110,6 +134,8 @@ class Step:
             blocks=tuple(tuple(block) for block in data.get("blocks", ())),
             count=int(data.get("count", 0)),
             delay_us=int(data.get("delay_us", DEFAULT_DELAY_US)),
+            down_us=int(data.get("down_us", 0)),
+            mode=data.get("mode", ""),
         )
 
 

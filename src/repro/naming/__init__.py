@@ -11,6 +11,14 @@ from .client import NamingClient
 from .database import NamingDatabase
 from .merkle import MerklePrefixTree
 from .messages import MultipleMappings, NsRequest, NsResponse
+from .persistence import (
+    CORRUPTION_MODES,
+    DurableStore,
+    FileStorage,
+    LoadResult,
+    MemoryStorage,
+    inject_corruption,
+)
 from .records import HwgId, LwgId, MappingRecord
 from .reconciliation import (
     MerkleSession,
@@ -35,6 +43,12 @@ __all__ = [
     "HwgId",
     "LwgId",
     "MappingRecord",
+    "CORRUPTION_MODES",
+    "DurableStore",
+    "FileStorage",
+    "LoadResult",
+    "MemoryStorage",
+    "inject_corruption",
     "ReconcileResult",
     "SyncDelta",
     "absorb",

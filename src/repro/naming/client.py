@@ -69,6 +69,11 @@ class NamingClient:
         self._version_counter += 1
         return self._version_counter
 
+    def observe_version(self, version: int) -> None:
+        """Raise the version floor (single-writer monotonic discipline)
+        after overwriting a record that already carried ``version``."""
+        self._version_counter = max(self._version_counter, version)
+
     def set(
         self,
         record: MappingRecord,

@@ -48,6 +48,13 @@ class NamingDatabase:
         #: invariant checking; None-safe no-ops by default).
         self.on_edge: Optional[Callable[[ViewId, Tuple[ViewId, ...]], None]] = None
         self.on_gc: Optional[Callable[[LwgId, ViewId, ViewId], None]] = None
+        #: Persistence hooks (wired by ``DurableStore.attach``): fired on
+        #: every accepted record (with its genealogy parents) and on every
+        #: batch of absorbed genealogy edges.  Together they journal
+        #: exactly the inputs needed to replay this database — GC is
+        #: derivable and deliberately not journaled.
+        self.on_applied: Optional[Callable[[MappingRecord, Tuple[ViewId, ...]], None]] = None
+        self.on_edges: Optional[Callable[[Dict[ViewId, Tuple[ViewId, ...]]], None]] = None
         #: Cached :meth:`content_hash`; every mutation path clears it.
         self._content_hash: Optional[str] = None
         #: Cached digest of the genealogy edge set; cleared whenever an
@@ -84,10 +91,14 @@ class NamingDatabase:
             # already hold — collect now, or stale mappings linger
             # until an unrelated mutation of the same LWG.
             if genealogy_changed:
+                if self.on_edges is not None:
+                    self.on_edges({record.lwg_view: parents})
                 self.garbage_collect(record.lwg)
             return False
         self._store(record)
         self.applied += 1
+        if self.on_applied is not None:
+            self.on_applied(record, parents)
         self.garbage_collect(record.lwg)
         return True
 
@@ -281,6 +292,43 @@ class NamingDatabase:
             self.genealogy.record(child, parents)
             if self.on_edge is not None and parents:
                 self.on_edge(child, tuple(parents))
+        if edges and self.on_edges is not None:
+            self.on_edges({child: tuple(parents) for child, parents in edges.items()})
+
+    def verify_integrity(self) -> List[str]:
+        """Cross-check the derived structures against the record store.
+
+        Returns a sorted list of problem descriptions (empty means the
+        database is internally consistent).  Used by the recovery
+        checker to assert that a reloaded replica is not merely
+        hash-equal but structurally sound: index, Merkle tree and digest
+        caches all agree with the records.
+        """
+        problems: List[str] = []
+        for key in sorted(self._records):
+            record = self._records[key]
+            if record.key != key:
+                problems.append(f"record stored under wrong key {key}")
+            if key not in self._by_lwg.get(record.lwg, set()):
+                problems.append(f"per-lwg index missing key {key}")
+        for lwg in sorted(self._by_lwg):
+            keys = self._by_lwg[lwg]
+            if not keys:
+                problems.append(f"empty index bucket for {lwg}")
+            for key in sorted(keys):
+                if key not in self._records:
+                    problems.append(f"index orphan {lwg} -> {key}")
+                elif key[0] != lwg:
+                    problems.append(f"index bucket mismatch {lwg} -> {key}")
+        expected = {key: record.order_key() for key, record in self._records.items()}
+        if self.merkle.leaf_digest("") != expected:
+            problems.append("merkle leaves diverge from record store")
+        cached = self._content_hash
+        if cached is not None:
+            self._content_hash = None
+            if self.content_hash() != cached:
+                problems.append("cached content hash is stale")
+        return problems
 
     def snapshot(self) -> List[MappingRecord]:
         """Every stored record (tests / reporting)."""

@@ -34,6 +34,7 @@ from .messages import (
     SyncReply,
     SyncRequest,
 )
+from .persistence import DurableStore, LoadResult
 from .reconciliation import (
     DEFAULT_MAX_SYNC_ROUNDS,
     MerkleSession,
@@ -54,11 +55,28 @@ class NameServer(Process):
         gossip_period_us: int = 500_000,
         renotify_period_us: int = 600_000,
         max_sync_rounds: int = DEFAULT_MAX_SYNC_ROUNDS,
+        store: Optional[DurableStore] = None,
     ):
         super().__init__(env, node)
-        self.db = NamingDatabase()
-        self.db.on_edge = self._trace_edge
-        self.db.on_gc = self._trace_gc
+        #: Durable snapshot+log store; None preserves the legacy
+        #: volatile behaviour (the in-memory db survives a sim crash).
+        self.store = store
+        self.incarnation = 0
+        if store is not None:
+            restart = store.has_state()
+            result = store.load()
+            self._install_db(result.db)
+            if restart:
+                # Booting over pre-existing state IS a restart (the
+                # asyncio/FileStorage path): bump and recover exactly
+                # like the in-sim recovery hook does.
+                self.incarnation = store.bump_incarnation()
+                store.write_snapshot(self.db)
+                self._trace_recovery(result)
+            else:
+                self.incarnation = store.incarnation()
+        else:
+            self._install_db(NamingDatabase())
         self.peers: List[NodeId] = [p for p in peers if p != node]
         self.notifier = ConflictNotifier(
             server_id=node,
@@ -242,6 +260,45 @@ class NameServer(Process):
         # In-flight descents die with the process; peers' stale steps
         # after recovery are answered by fresh self-describing sessions.
         self._sessions.clear()
+
+    def on_recover(self) -> None:
+        if self.store is None:
+            return
+        # The volatile database died with the process: rebuild it from
+        # the durable areas (quarantining any corruption), bump the
+        # durable incarnation so this life is distinguishable from the
+        # last one, and compact to a fresh snapshot so the reloaded log
+        # is not replayed twice.  Whatever the log lost, the next
+        # Merkle-descent gossip re-reconciles from the peers.
+        result = self.store.load()
+        self._install_db(result.db)
+        self.incarnation = self.store.bump_incarnation(at_least=self.incarnation)
+        self.store.write_snapshot(self.db)
+        self._trace_recovery(result)
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def _install_db(self, db: NamingDatabase) -> None:
+        """Adopt ``db`` as the live replica and wire every hook to it."""
+        self.db = db
+        db.on_edge = self._trace_edge
+        db.on_gc = self._trace_gc
+        if self.store is not None:
+            self.store.attach(db)
+
+    def _trace_recovery(self, result: LoadResult) -> None:
+        self.env.tracer.emit(
+            "recovery",
+            "server_recovered",
+            server=self.node,
+            incarnation=self.incarnation,
+            records=len(self.db),
+            snapshot_used=result.snapshot_used,
+            log_entries=result.log_entries,
+            quarantined=result.quarantined,
+            truncated=result.log_truncated or result.snapshot_rejected,
+        )
 
     def _absorb_remote(self, records, genealogy) -> None:
         self._note_absorb(absorb(self.db, records, genealogy))

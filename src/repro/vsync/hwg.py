@@ -321,6 +321,13 @@ class HwgEndpoint:
                 self._finish_leave()
             return
         if self.state is EndpointState.JOINING:
+            if self.stack.is_stale_view(self.group, view.view_id):
+                # Leftover InstallView from a previous incarnation of
+                # this node (delayed in the fabric across our crash):
+                # installing it would resurrect a view the surviving
+                # members already superseded.
+                self.trace("stale_install_rejected", view=str(view.view_id))
+                return
             if msg.app_state is not None:
                 self.listener.on_state(self.group, msg.app_state)
             self._install(view, msg.dedup)
@@ -350,6 +357,7 @@ class HwgEndpoint:
         if was_joining and self._join_timer is not None:
             self._join_timer.cancel()
         self.views_installed += 1
+        self.stack.note_view_installed(self.group, view.view_id)
         self.trace(
             "view_installed",
             view=str(view.view_id),

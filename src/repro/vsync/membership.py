@@ -153,6 +153,18 @@ class ViewChangeManager:
             return  # the joiner retries against the right coordinator
         view = self.ep.current_view
         if view is not None and msg.joiner in view.members:
+            # A JoinRequest from a *current* member means the node
+            # restarted under the failure detector's radar: only a
+            # JOINING endpoint sends these, so the membership entry is
+            # its dead incarnation — still holding a dedup floor that
+            # would silently swallow the new life's restarted sender
+            # numbering if we re-admitted it as a continuing member.
+            # Evict the stale entry first; the joiner keeps retrying and
+            # is then admitted as a genuine joiner (fresh floor, state
+            # snapshot) once the view has forgotten its previous life.
+            self.ep.trace("rejoin_evicts_stale_member", joiner=msg.joiner)
+            self.pending_leaves.add(msg.joiner)
+            self.maybe_start()
             return
         self.pending_joins.add(msg.joiner)
         self.maybe_start()

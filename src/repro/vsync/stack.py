@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Set
 
+from ..naming.persistence import DurableStore
 from ..runtime.interfaces import Addressing, NodeId, Runtime
 from ..sim.process import Process
 from ..sim.transport import ReliableTransport
@@ -25,7 +26,7 @@ from .failure_detector import FailureDetector
 from .hwg import HwgEndpoint, HwgListener
 from .locator import GroupAddressing
 from .messages import Heartbeat, VsyncMessage
-from .view import GroupId
+from .view import GroupId, ViewId
 
 
 @dataclass
@@ -64,10 +65,15 @@ class ProtocolStack(Process):
         node: NodeId,
         addressing: Addressing,
         config: Optional[VsyncConfig] = None,
+        node_store: Optional[DurableStore] = None,
     ):
         super().__init__(env, node)
         self.addressing = addressing
         self.config = config or VsyncConfig()
+        #: Durable per-node vsync identity (incarnation, view-seq,
+        #: installed-view history); None keeps the legacy volatile
+        #: behaviour where a recovered stack reuses its counters.
+        self.node_store = node_store
         self.transport = ReliableTransport(
             env, node, self._deliver_control,
             retransmit_timeout_us=self.config.retransmit_timeout_us,
@@ -83,6 +89,15 @@ class ProtocolStack(Process):
         # handlers here; a handler returning True consumes the message.
         self.extra_handlers: list = []
         self._view_seq = 0
+        if node_store is not None:
+            # Booting over pre-existing meta IS a restart: resume the
+            # view-seq counter (ViewIds must never repeat across lives)
+            # and come up one incarnation past the previous life.
+            self._view_seq = node_store.view_seq()
+            previous = node_store.incarnation()
+            if previous:
+                self.transport.incarnation = node_store.bump_incarnation()
+                self._trace_recovered()
         self.set_periodic(
             self.config.heartbeat_period_us,
             self.fd.tick_heartbeat,
@@ -116,9 +131,43 @@ class ProtocolStack(Process):
         self.endpoints.pop(group, None)
 
     def next_view_seq(self) -> int:
-        """Monotonic per-process counter for minting view identifiers."""
+        """Monotonic per-process counter for minting view identifiers.
+
+        Persisted before use when a node store is attached, so a ViewId
+        minted after a crash can never collide with one from a previous
+        incarnation — which is what makes installed-view history a sound
+        staleness judgement (see :meth:`is_stale_view`).
+        """
         self._view_seq += 1
+        if self.node_store is not None:
+            self.node_store.persist_view_seq(self._view_seq)
         return self._view_seq
+
+    def note_view_installed(self, group: GroupId, view_id: ViewId) -> None:
+        """Record an installed view in the durable per-node history."""
+        if self.node_store is not None:
+            self.node_store.record_view(group, view_id, self.transport.incarnation)
+
+    def is_stale_view(self, group: GroupId, view_id: ViewId) -> bool:
+        """True if this node installed ``view_id`` in a *previous* life.
+
+        A recovered node re-joins its groups from scratch; an InstallView
+        for a view it already sat in before the crash is leftovers from
+        the dead incarnation and must not be re-installed (the live
+        members have moved on — re-accepting it would fork the group's
+        view history).
+        """
+        if self.node_store is None:
+            return False
+        current = self.transport.incarnation
+        for entry_group, entry_view, entry_incarnation in self.node_store.view_history():
+            if (
+                entry_group == group
+                and entry_view == view_id
+                and entry_incarnation < current
+            ):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Messaging helpers used by endpoints
@@ -194,3 +243,19 @@ class ProtocolStack(Process):
         # re-join their groups, which the merge machinery treats like any
         # other concurrent-view bootstrap.
         self.transport.restart()
+        if self.node_store is not None:
+            # Fold the durable incarnation in: the new life must be
+            # distinguishable even if the meta area was corrupted (the
+            # bump is monotonic against the surviving volatile counter).
+            self.transport.incarnation = self.node_store.bump_incarnation(
+                at_least=self.transport.incarnation
+            )
+            self._trace_recovered()
+
+    def _trace_recovered(self) -> None:
+        self.env.tracer.emit(
+            "recovery",
+            "stack_recovered",
+            node=self.node,
+            incarnation=self.transport.incarnation,
+        )

@@ -21,6 +21,7 @@ from ..core.baselines import (
 from ..core.config import LwgConfig
 from ..core.service import LwgService
 from ..naming.client import NamingClient
+from ..naming.persistence import DurableStore, MemoryStorage
 from ..naming.server import NameServer
 from ..runtime.interfaces import SECOND, NodeId, Runtime
 from ..sim.network import LinkModel
@@ -55,6 +56,7 @@ class Cluster:
         process_prefix: str = "p",
         checkers: bool = True,
         env: Optional[Runtime] = None,
+        durable: bool = True,
     ):
         if flavour not in ("dynamic", "static", "isolated", "none"):
             raise ValueError(f"unknown service flavour {flavour!r}")
@@ -72,8 +74,15 @@ class Cluster:
         self.lwg_config = lwg_config or LwgConfig()
         self.vsync_config = vsync_config or VsyncConfig()
         self.name_server_ids = [f"ns{i}" for i in range(num_name_servers)]
+        # Per-node durable stores (crash-recovery state).  ``durable=False``
+        # restores the legacy volatile behaviour where a recovered node
+        # keeps its in-memory database and counters.
+        self.stores: Dict[NodeId, DurableStore] = {}
         self.name_servers: Dict[NodeId, NameServer] = {
-            node: NameServer(self.env, node, peers=self.name_server_ids)
+            node: NameServer(
+                self.env, node, peers=self.name_server_ids,
+                store=self._make_store(node) if durable else None,
+            )
             for node in self.name_server_ids
         }
         self.process_ids: List[NodeId] = [
@@ -83,7 +92,10 @@ class Cluster:
         self.clients: Dict[NodeId, NamingClient] = {}
         self.services: Dict[NodeId, Union[LwgService, NoLwgService]] = {}
         for node in self.process_ids:
-            stack = ProtocolStack(self.env, node, self.addressing, self.vsync_config)
+            stack = ProtocolStack(
+                self.env, node, self.addressing, self.vsync_config,
+                node_store=self._make_store(node) if durable else None,
+            )
             self.stacks[node] = stack
             if flavour == "none":
                 self.services[node] = NoLwgService(stack)
@@ -96,6 +108,11 @@ class Cluster:
                 self.services[node] = make_static_service(stack, client, self.lwg_config)
             else:
                 self.services[node] = make_isolated_service(stack, client, self.lwg_config)
+
+    def _make_store(self, node: NodeId) -> DurableStore:
+        store = DurableStore(MemoryStorage())
+        self.stores[node] = store
+        return store
 
     # ------------------------------------------------------------------
     # Access helpers

@@ -90,4 +90,5 @@ def test_standard_suite_registers_the_stock_monitors():
         "genealogy-gc",
         "naming-convergence",
         "lwg-convergence",
+        "recovery-convergence",
     }

@@ -36,6 +36,24 @@ class FakeStack:
         return FakeTimerHandle()
 
 
+class FakeNaming:
+    """The version-clock + unset surface the disown path writes through."""
+
+    def __init__(self):
+        self.version = 0
+        self.unset_records: List[MappingRecord] = []
+
+    def next_version(self):
+        self.version += 1
+        return self.version
+
+    def observe_version(self, version):
+        self.version = max(self.version, version)
+
+    def unset(self, record):
+        self.unset_records.append(record)
+
+
 class FakeService:
     """The narrow surface MergeManager/ReconciliationHandler need."""
 
@@ -45,8 +63,13 @@ class FakeService:
         self.sent: List[tuple] = []
         self.installed: List[View] = []
         self.switches: List[tuple] = []
+        self.registered: List[str] = []
+        self.naming = FakeNaming()
         self.endpoint = FakeEndpoint()
         self.stack = FakeStack()
+
+    def register_mapping(self, local):
+        self.registered.append(local.lwg)
 
     def hwg_send(self, hwg, message):
         self.sent.append((hwg, message))
@@ -296,6 +319,13 @@ def test_callback_about_superseded_view_ignored():
     )
     handler.on_multiple_mappings(message)
     assert service.switches == []
+    # Both records cite a view only p0 could have minted and no longer
+    # operates: the coordinator disowns them — re-planting its beacon
+    # first, since one of them pointed at the HWG the live branch is on.
+    assert service.registered == ["lwg:a"]
+    disowned = {(r.lwg_view, r.hwg) for r in service.naming.unset_records}
+    assert disowned == {(stale.view_id, "hwg:aaa"), (stale.view_id, "hwg:zzz")}
+    assert all(r.deleted for r in service.naming.unset_records)
 
 
 def test_mid_switch_callback_deferred():

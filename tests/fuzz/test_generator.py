@@ -4,6 +4,7 @@ import pytest
 
 from repro.fuzz import PROFILES, GeneratorConfig, ScheduleGenerator, Step
 from repro.fuzz.schedule import STEP_KINDS
+from repro.naming import CORRUPTION_MODES
 
 
 def test_unknown_profile_rejected():
@@ -64,6 +65,13 @@ def test_schedules_are_well_formed(profile):
                 assert step.group in schedule.groups
             elif step.kind in ("crash", "recover"):
                 assert step.node in processes
+            elif step.kind == "crash_recover":
+                assert step.node in processes | servers
+                assert step.down_us > 0
+            elif step.kind == "corrupt_state":
+                assert step.node in servers
+                assert step.mode in CORRUPTION_MODES
+                assert step.down_us > 0
 
 
 def test_singleton_blocks_do_occur():
@@ -78,6 +86,21 @@ def test_singleton_blocks_do_occur():
             if any(len([n for n in b if n.startswith("p")]) == 1 for b in step.blocks):
                 saw_singleton = True
     assert saw_singleton
+
+
+def test_recovery_profile_exercises_new_kinds():
+    generator = ScheduleGenerator(3, "recovery")
+    kinds = set()
+    modes = set()
+    for index in range(10):
+        for step in generator.generate(index).steps:
+            kinds.add(step.kind)
+            if step.kind == "corrupt_state":
+                modes.add(step.mode)
+    assert "crash_recover" in kinds
+    assert "corrupt_state" in kinds
+    # The profile should reach every corruption mode within a few runs.
+    assert modes == set(CORRUPTION_MODES)
 
 
 def test_labels_identify_campaign_and_iteration():
