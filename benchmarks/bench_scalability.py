@@ -1,8 +1,19 @@
-"""Scalability: how many LWGs can one HWG carry?
+"""Scalability, axis 1 of 2: how many LWGs can one HWG carry?
 
-The service's whole premise is that co-mapping is cheap.  This bench
-sweeps the number of LWGs multiplexed onto a single 4-member HWG and
-measures what each additional group costs:
+The repo's scalability story now has two independent axes:
+
+* **group axis** (this file) — LWGs multiplexed onto one HWG.  The
+  service's whole premise is that co-mapping is cheap, so each
+  additional group must cost ~nothing in join latency and background
+  traffic;
+* **naming-roster axis** (``bench_shard_scaleout.py``) — name servers
+  added to a sharded deployment (PROTOCOLS.md §18).  Per-server naming
+  load must *fall* as the roster grows, not replicate.
+
+A regression on one axis says nothing about the other — the shape
+checks below are labelled ``group axis`` so CI failures name the right
+one.  This bench sweeps the number of LWGs multiplexed onto a single
+4-member HWG and measures what each additional group costs:
 
 * join latency for the k-th group (naming round-trip + one ordered view
   message — must stay flat);
@@ -101,15 +112,25 @@ def test_lwgs_per_hwg_scaling(benchmark):
     )
     checks = [
         shape_check(
-            f"join latency flat in k ({join_ms[1]:.0f} -> {join_ms[-1]:.0f}ms)",
+            f"group axis: join latency flat in k "
+            f"({join_ms[1]:.0f} -> {join_ms[-1]:.0f}ms)",
             join_ms[-1] <= 3 * max(join_ms[1], 1),
         ),
+        # HWG machinery (heartbeats/beacons/stability) is per-HWG and
+        # stays flat in k; the PR-7 coordinator mapping audit adds one
+        # periodic naming read *per LWG*, so total background grows
+        # mildly with k — the sharing win shows in the per-group rate
+        # collapsing, not in a flat total.
         shape_check(
-            f"background traffic ~flat in k ({background[0]:.0f} -> {background[-1]:.0f}/s)",
-            background[-1] <= 1.5 * background[0] + 10,
+            f"group axis: background traffic sub-linear in k "
+            f"({background[0]:.0f} -> {background[-1]:.0f}/s total; "
+            f"{background[0]:.1f} -> {background[-1] / K_VALUES[-1]:.1f}/s per group)",
+            background[-1] <= 3 * background[0] + 10
+            and background[-1] / K_VALUES[-1] <= 0.2 * background[0],
         ),
         shape_check(
-            f"delivery latency bounded ({latency_ms[0]:.2f} -> {latency_ms[-1]:.2f}ms)",
+            f"group axis: delivery latency bounded "
+            f"({latency_ms[0]:.2f} -> {latency_ms[-1]:.2f}ms)",
             latency_ms[-1] < 20,
         ),
     ]

@@ -1,0 +1,81 @@
+"""Naming scale-out: sharded replica sets vs full replication.
+
+PROTOCOLS.md §18 shards the naming service by LWG-name hash, pinning
+each shard to a rendezvous-hashed replica set of ``replication_factor``
+servers.  The payoff claimed there is *scale-out*: adding servers
+divides the per-server load instead of multiplying the replication
+bill.  This bench sweeps the roster 4 -> 16 -> 64 at rf=3 under a fixed
+write campaign and checks both halves of that claim:
+
+* per-server outbound naming bytes, message count and resident records
+  all *fall* (or at worst stay flat) as the roster grows — the work is
+  divided, not duplicated;
+* at 16 servers the sharded deployment costs ≤0.35x the
+  fully-replicated equivalent in per-server bytes and records.
+
+The wall-clock twin lives in the CI-gated suite as
+``naming.shard_scaleout`` (``python -m repro bench``), recorded in
+``benchmarks/baseline.json``.
+"""
+
+from conftest import SEED
+
+from repro.bench.suite import SCALEOUT_RF, SCALEOUT_SWEEP, shard_scaleout_workload
+from repro.metrics import series_table, shape_check
+
+
+def run_scaleout():
+    sweep = [
+        shard_scaleout_workload(SEED, n, SCALEOUT_RF) for n in SCALEOUT_SWEEP
+    ]
+    full_16 = shard_scaleout_workload(SEED, 16, 0)
+    return sweep, full_16
+
+
+def test_shard_scaleout(benchmark):
+    sweep, full_16 = benchmark.pedantic(run_scaleout, rounds=1, iterations=1)
+    by_n = dict(zip(SCALEOUT_SWEEP, sweep))
+    print(
+        series_table(
+            f"Naming scale-out — n servers at rf={SCALEOUT_RF}, fixed write campaign",
+            "n",
+            list(SCALEOUT_SWEEP),
+            {
+                "bytes/server": [r["bytes_per_server"] for r in sweep],
+                "msgs/server": [r["msgs_per_server"] for r in sweep],
+                "records/server": [r["records_per_server"] for r in sweep],
+                "records max": [r["records_max"] for r in sweep],
+            },
+            note=f"fully-replicated n=16 for comparison: "
+            f"{full_16['bytes_per_server']:.0f} bytes/server, "
+            f"{full_16['records_per_server']:.0f} records/server",
+        )
+    )
+    bytes_ratio = by_n[16]["bytes_per_server"] / full_16["bytes_per_server"]
+    records_ratio = by_n[16]["records_per_server"] / full_16["records_per_server"]
+    checks = [
+        shape_check(
+            f"per-server bytes fall with roster growth "
+            f"({by_n[4]['bytes_per_server']:.0f} -> {by_n[64]['bytes_per_server']:.0f})",
+            by_n[64]["bytes_per_server"] <= 1.1 * by_n[4]["bytes_per_server"],
+        ),
+        shape_check(
+            f"per-server records fall with roster growth "
+            f"({by_n[4]['records_per_server']:.0f} -> {by_n[64]['records_per_server']:.0f})",
+            by_n[64]["records_per_server"] <= 1.1 * by_n[4]["records_per_server"],
+        ),
+        shape_check(
+            f"sharded/full bytes at n=16 ({bytes_ratio:.3f}) <= 0.35",
+            bytes_ratio <= 0.35,
+        ),
+        shape_check(
+            f"sharded/full records at n=16 ({records_ratio:.3f}) <= 0.35",
+            records_ratio <= 0.35,
+        ),
+        shape_check(
+            "no client retries at any roster size",
+            all(r["client_retries"] == 0 for r in sweep),
+        ),
+    ]
+    print("\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks)

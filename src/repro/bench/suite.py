@@ -552,3 +552,122 @@ def reconcile_delta_workload(seed: int) -> Tuple[int, Dict[str, Any]]:
 )
 def bench_naming_reconcile_delta(seed: int) -> Tuple[int, Dict[str, Any]]:
     return reconcile_delta_workload(seed)
+
+
+# ----------------------------------------------------------------------
+# Naming scale-out: sharded replica sets vs full replication
+# ----------------------------------------------------------------------
+SCALEOUT_SWEEP = (4, 16, 64)
+SCALEOUT_RF = 3
+SCALEOUT_WRITES = 192
+SCALEOUT_SETTLE_S = 4
+
+
+def shard_scaleout_workload(
+    seed: int, num_servers: int, replication_factor: int
+) -> Dict[str, float]:
+    """Per-server naming load for one deployment shape.
+
+    ``replication_factor=0`` is the fully-replicated legacy deployment
+    (the comparison baseline).  One client writes
+    :data:`SCALEOUT_WRITES` distinct LWG mappings (no parents, so the
+    exchange cost is records, not genealogy), the cluster settles
+    through several gossip periods, and every server's outbound naming
+    traffic is metered at its own ``send``/``multicast`` seam — a
+    multicast to ``k`` destinations counts ``k`` times its size, the
+    same accounting the fabric uses.
+    """
+    from ..naming.client import NamingClient
+    from ..naming.records import MappingRecord
+    from ..naming.server import NameServer
+    from ..naming.sharding import ShardMap
+    from ..sim.process import SimRuntime
+    from ..vsync.stack import ProtocolStack
+    from ..vsync.view import ViewId
+
+    env = SimRuntime.create(seed=seed, keep_trace=False)
+    server_ids = [f"ns{i}" for i in range(num_servers)]
+    shard_map = (
+        ShardMap(server_ids, replication_factor) if replication_factor else None
+    )
+    bytes_sent = {node: 0 for node in server_ids}
+    msgs_sent = {node: 0 for node in server_ids}
+    servers = {}
+    for node in server_ids:
+        server = NameServer(env, node, peers=server_ids, shard_map=shard_map)
+        servers[node] = server
+        original_send, original_multicast = server.send, server.multicast
+
+        def send(dst, msg, size=256, _n=node, _s=original_send):
+            bytes_sent[_n] += size
+            msgs_sent[_n] += 1
+            return _s(dst, msg, size)
+
+        def multicast(dsts, msg, size=256, _n=node, _m=original_multicast):
+            targets = list(dsts)
+            bytes_sent[_n] += size * len(targets)
+            msgs_sent[_n] += len(targets)
+            return _m(targets, msg, size)
+
+        server.send = send
+        server.multicast = multicast
+    stack = ProtocolStack(env, "p0", env.group_addressing())
+    client = NamingClient(stack, server_ids, shard_map=shard_map)
+    acked = [0]
+    for i in range(SCALEOUT_WRITES):
+        record = MappingRecord(
+            lwg=f"lwg:{i}", lwg_view=ViewId("p0", 1), lwg_members=("p0",),
+            hwg=f"hwg:{i % 7}", hwg_view=ViewId("h", 1),
+            version=client.next_version(), writer="p0",
+        )
+        client.set(record, on_reply=lambda _r: acked.__setitem__(0, acked[0] + 1))
+        env.run_for(10 * MS)
+    env.run_for(SCALEOUT_SETTLE_S * SECOND)
+    assert acked[0] == SCALEOUT_WRITES, f"{acked[0]} of {SCALEOUT_WRITES} acked"
+    resident = [len(s.db) for s in servers.values()]
+    if shard_map is not None and not shard_map.fully_replicated:
+        # Each write must live on exactly its replica set, nowhere else.
+        assert sum(resident) == SCALEOUT_WRITES * replication_factor
+    return {
+        "bytes_per_server": sum(bytes_sent.values()) / num_servers,
+        "msgs_per_server": sum(msgs_sent.values()) / num_servers,
+        "records_per_server": sum(resident) / num_servers,
+        "records_max": max(resident),
+        "client_retries": client.retries,
+    }
+
+
+@_register(
+    "naming.shard_scaleout",
+    fast=False,
+    description="per-server naming load, 4->64 sharded servers vs full replication",
+)
+def bench_naming_shard_scaleout(seed: int) -> Tuple[int, Dict[str, Any]]:
+    """Sweep the roster at rf=3 and price full replication at 16 servers.
+
+    Asserts the PR's acceptance bounds: at 16 servers the sharded
+    deployment's per-server naming bytes and resident records are
+    ≤0.35x the fully-replicated equivalent, and growing the roster
+    4 -> 64 keeps per-server load flat (scale-out, not scale-up).
+    """
+    sweep = {n: shard_scaleout_workload(seed, n, SCALEOUT_RF) for n in SCALEOUT_SWEEP}
+    full = shard_scaleout_workload(seed, 16, 0)
+    bytes_ratio = sweep[16]["bytes_per_server"] / full["bytes_per_server"]
+    records_ratio = sweep[16]["records_per_server"] / full["records_per_server"]
+    assert bytes_ratio <= 0.35, f"per-server bytes ratio {bytes_ratio:.3f} > 0.35"
+    assert records_ratio <= 0.35, (
+        f"per-server records ratio {records_ratio:.3f} > 0.35"
+    )
+    assert sweep[64]["records_per_server"] <= 1.1 * sweep[4]["records_per_server"]
+    assert sweep[64]["msgs_per_server"] <= 1.1 * sweep[4]["msgs_per_server"]
+    events = SCALEOUT_WRITES * (len(SCALEOUT_SWEEP) + 1)
+    return events, {
+        "bytes_ratio_16": round(bytes_ratio, 4),
+        "records_ratio_16": round(records_ratio, 4),
+        "bytes_per_server_4": round(sweep[4]["bytes_per_server"], 1),
+        "bytes_per_server_16": round(sweep[16]["bytes_per_server"], 1),
+        "bytes_per_server_64": round(sweep[64]["bytes_per_server"], 1),
+        "bytes_per_server_full_16": round(full["bytes_per_server"], 1),
+        "records_per_server_64": round(sweep[64]["records_per_server"], 1),
+        "records_per_server_full_16": round(full["records_per_server"], 1),
+    }

@@ -109,7 +109,10 @@ class RecoveryConvergenceChecker(Checker):
             store = getattr(server, "store", None)
             if store is None:
                 continue
-            result = store.load()
+            # Sharded servers reload only their owned shards, exactly as
+            # the recovery path does (foreign journal entries contribute
+            # genealogy only — see persistence.load).
+            result = store.load(owned=getattr(server, "owned", None))
             if not result.clean:
                 self.fail(
                     "durable state clean",

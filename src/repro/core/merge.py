@@ -335,6 +335,14 @@ class MergeManager:
         self.svc.install_local_view(local, merged, reason="merge")
 
 
+#: Identical-signature MULTIPLE-MAPPINGS callbacks the winning
+#: coordinator tolerates before declaring the losing branch dead and
+#: burying its record.  Callbacks are re-sent per server while the
+#: conflict persists, so this spans several renotify periods — long
+#: enough for a live loser to switch or re-register.
+PERSISTENT_CONFLICT_ROUNDS = 6
+
+
 class ReconciliationHandler:
     """Steps 1-2: act on MULTIPLE-MAPPINGS callbacks (Section 6.2)."""
 
@@ -343,6 +351,9 @@ class ReconciliationHandler:
         self.callbacks_received = 0
         self.switches_initiated = 0
         self.views_disowned = 0
+        self.branches_buried = 0
+        #: lwg -> (loser signature, consecutive identical callbacks).
+        self._persistent: Dict[LwgId, Tuple[frozenset, int]] = {}
 
     def on_multiple_mappings(self, message: MultipleMappings) -> None:
         self.callbacks_received += 1
@@ -364,7 +375,8 @@ class ReconciliationHandler:
         winner = highest_gid({r.hwg for r in live})
         if winner is None or winner == local.hwg:
             # We are on the highest-gid HWG: keep the mapping (the other
-            # views switch to us).
+            # views switch to us) — unless a loser never does.
+            self._bury_unresponsive_losers(message.lwg, local, live)
             return
         self.svc.trace(
             "reconcile_switch",
@@ -374,6 +386,56 @@ class ReconciliationHandler:
         )
         self.switches_initiated += 1
         self.svc.start_switch(local, winner, reason="reconciliation")
+
+    def _bury_unresponsive_losers(
+        self, lwg: LwgId, local: LocalLwg, live: List[MappingRecord]
+    ) -> None:
+        """Retire losing records whose branch never acts on its callbacks.
+
+        Reconciliation normally ends with the *losing* coordinator
+        switching its view onto the winning HWG.  If that coordinator
+        crashed for good before ever learning of the conflict (the
+        notifier targets it on every round, to silence), no switch will
+        come, no succession authority applies — the view is not in our
+        ancestor set, we never merged with it — and the conflict would
+        stand forever.  After :data:`PERSISTENT_CONFLICT_ROUNDS`
+        callbacks carrying the *identical* loser set, the winning
+        coordinator declares the branch dead and buries each record
+        with the weakest-possible tombstone (same version and writer,
+        ``deleted`` flipped).  A mis-declared live branch loses only
+        its discovery beacon, not its state: its coordinator's periodic
+        mapping audit re-registers at a higher version, overriding the
+        burial, and reconciliation resumes with both branches alive.
+        """
+        losers = [
+            r for r in live
+            if r.lwg_view != local.view.view_id and r.hwg != local.hwg
+        ]
+        if not losers:
+            self._persistent.pop(lwg, None)
+            return
+        signature = frozenset((str(r.lwg_view), r.hwg) for r in losers)
+        previous, count = self._persistent.get(lwg, (None, 0))
+        count = count + 1 if signature == previous else 1
+        if count < PERSISTENT_CONFLICT_ROUNDS:
+            self._persistent[lwg] = (signature, count)
+            return
+        self._persistent.pop(lwg, None)
+        self.svc.trace("reconcile_bury_dead_branch", lwg=lwg, buried=len(losers))
+        for r in sorted(losers, key=lambda rec: (rec.lwg_view, rec.hwg)):
+            self.branches_buried += 1
+            self.svc.naming.unset(
+                MappingRecord(
+                    lwg=r.lwg,
+                    lwg_view=r.lwg_view,
+                    lwg_members=r.lwg_members,
+                    hwg=r.hwg,
+                    hwg_view=r.hwg_view,
+                    version=r.version,
+                    writer=r.writer,
+                    deleted=True,
+                )
+            )
 
     def _disown_defunct_views(self, message: MultipleMappings) -> Set[ViewId]:
         """Tombstone records citing views this node is entitled to retire.

@@ -44,6 +44,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--groups", type=int, default=3, help="LWGs per schedule")
     parser.add_argument(
+        "--name-servers", type=int, default=2, help="name servers per schedule"
+    )
+    parser.add_argument(
+        "--replication-factor",
+        type=int,
+        default=0,
+        help=(
+            "replicas per naming shard (PROTOCOLS.md §18); "
+            "0 = legacy full replication"
+        ),
+    )
+    parser.add_argument(
         "--max-steps", type=int, default=16, help="max schedule length"
     )
     parser.add_argument(
@@ -193,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     config = GeneratorConfig(
         num_processes=args.processes,
+        num_name_servers=args.name_servers,
+        replication_factor=args.replication_factor,
         num_groups=args.groups,
         max_steps=args.max_steps,
     )

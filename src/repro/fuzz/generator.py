@@ -95,6 +95,9 @@ class GeneratorConfig:
 
     num_processes: int = 6
     num_name_servers: int = 2
+    #: 0 = legacy fully-replicated naming; >0 shards the namespace with
+    #: this many replicas per shard (PROTOCOLS.md §18).
+    replication_factor: int = 0
     num_groups: int = 3
     min_steps: int = 8
     max_steps: int = 16
@@ -137,6 +140,7 @@ class ScheduleGenerator:
             seed=fork.stream("cluster-seed").randrange(2**31),
             num_processes=config.num_processes,
             num_name_servers=config.num_name_servers,
+            replication_factor=config.replication_factor,
             groups=groups,
             initial_members=initial,
             steps=steps,

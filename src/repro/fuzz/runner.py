@@ -122,6 +122,7 @@ class ScheduleRunner:
             num_processes=schedule.num_processes,
             seed=schedule.seed,
             num_name_servers=schedule.num_name_servers,
+            replication_factor=schedule.replication_factor or None,
             lwg_config=_scaled_config(),
             keep_trace=False,
         )

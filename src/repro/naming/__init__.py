@@ -30,6 +30,14 @@ from .reconciliation import (
     merkle_exchange,
 )
 from .server import NameServer
+from .sharding import (
+    ALL_SHARDS,
+    NUM_SHARDS,
+    SHARD_PREFIX_LEN,
+    ShardMap,
+    shard_of_key,
+    shard_of_lwg,
+)
 
 __all__ = [
     "ConflictNotifier",
@@ -56,4 +64,10 @@ __all__ = [
     "databases_identical",
     "merkle_exchange",
     "NameServer",
+    "ALL_SHARDS",
+    "NUM_SHARDS",
+    "SHARD_PREFIX_LEN",
+    "ShardMap",
+    "shard_of_key",
+    "shard_of_lwg",
 ]

@@ -12,6 +12,15 @@ out is retried against the next server in the list, forever — the
 deployment assumption (Section 5.2) is that every partition retains at
 least one reachable server.  All operations are idempotent (records are
 versioned, testset re-proposes the same record), so retries are safe.
+
+With a :class:`~repro.naming.sharding.ShardMap` the client routes each
+request to the key's replica set instead of spraying the full roster:
+the fast path sends to one owner of the LWG's shard, a timeout rotates
+to the next owner, and only after every owner has been tried twice
+does the client fall back to the full roster — where any non-owner
+forwards to an owner on its behalf (owner-miss retry, PROTOCOLS.md
+§18).  Without a map the legacy rotate-everything behaviour is
+bit-identical to before.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from ..runtime.interfaces import NodeId
 from ..vsync.view import ViewId
 from .messages import MultipleMappings, NamingMessage, NsRequest, NsResponse
 from .records import HwgId, LwgId, MappingRecord
+from .sharding import ShardMap
 
 ReplyCallback = Callable[[Tuple[MappingRecord, ...]], None]
 MultipleMappingsHandler = Callable[[MultipleMappings], None]
@@ -44,13 +54,20 @@ class _PendingCall:
 class NamingClient:
     """Naming-service access for one application process."""
 
-    def __init__(self, stack, servers: Sequence[NodeId]):
+    def __init__(
+        self,
+        stack,
+        servers: Sequence[NodeId],
+        shard_map: Optional[ShardMap] = None,
+    ):
         if not servers:
             raise ValueError("naming client needs at least one server")
         self.stack = stack
         self.env = stack.env
         self.node: NodeId = stack.node
         self.servers: List[NodeId] = list(servers)
+        #: Replica-set routing (PROTOCOLS.md §18); None = legacy rotation.
+        self.shard_map = shard_map
         self._request_counter = 0
         self._version_counter = 0
         self._pending: Dict[int, _PendingCall] = {}
@@ -132,10 +149,28 @@ class NamingClient:
         self._pending[request.request_id] = call
         self._attempt(call)
 
+    def _target(self, call: _PendingCall) -> NodeId:
+        """The server for this attempt: owners first, then the roster.
+
+        Sharded routing tries the LWG's replica set round-robin (the
+        single-owner fast path, then owner-miss rotation).  After two
+        full cycles over the owners — all of them presumed unreachable,
+        e.g. across a partition — it widens to the whole roster, where
+        any reachable non-owner forwards to an owner for us.
+        """
+        if self.shard_map is None:
+            return self.servers[
+                (self._server_offset + call.attempts) % len(self.servers)
+            ]
+        owners = self.shard_map.owners_for_lwg(call.request.lwg)
+        if call.attempts < 2 * len(owners):
+            return owners[(self._server_offset + call.attempts) % len(owners)]
+        return self.servers[(self._server_offset + call.attempts) % len(self.servers)]
+
     def _attempt(self, call: _PendingCall) -> None:
         if call.done:
             return
-        server = self.servers[(self._server_offset + call.attempts) % len(self.servers)]
+        server = self._target(call)
         call.attempts += 1
         if call.attempts > 1:
             self.retries += 1

@@ -235,12 +235,32 @@ class NamingDatabase:
         mutation path invalidates.
         """
         if self._content_hash is None:
-            hasher = hashlib.sha256()
-            hasher.update(self.merkle.root_hash().encode("ascii"))
-            hasher.update(b"|")
-            hasher.update(self._genealogy_digest().encode("ascii"))
-            self._content_hash = hasher.hexdigest()
+            self._content_hash = self._hash_over(("",))
         return self._content_hash
+
+    def scope_hash(self, prefixes: Tuple[str, ...] = ("",)) -> str:
+        """Digest restricted to the Merkle subtrees under ``prefixes``.
+
+        Two replicas with equal scope hashes agree byte-for-byte on
+        every record under those prefixes *and* on their genealogy
+        knowledge — the per-shard analogue of :meth:`content_hash`,
+        used by sharded anti-entropy to short-circuit on the shards two
+        servers co-own.  ``("",)`` (the root scope) is exactly
+        :meth:`content_hash`, cache included, so the unsharded protocol
+        is bit-identical.  Callers pass sorted prefixes; both sides of
+        an exchange derive the same tuple from the shard map.
+        """
+        if prefixes == ("",):
+            return self.content_hash()
+        return self._hash_over(prefixes)
+
+    def _hash_over(self, prefixes: Tuple[str, ...]) -> str:
+        hasher = hashlib.sha256()
+        for prefix in prefixes:
+            hasher.update(self.merkle.node_hash(prefix).encode("ascii"))
+        hasher.update(b"|")
+        hasher.update(self._genealogy_digest().encode("ascii"))
+        return hasher.hexdigest()
 
     def _genealogy_digest(self) -> str:
         if self._genealogy_hash is None:

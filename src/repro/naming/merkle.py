@@ -10,9 +10,11 @@ a small divergence is localized in O(log n) rounds and O(log n) wire
 bytes instead of O(n).
 
 Layout.  Every record key is placed in the bucket named by the first
-``depth`` hex characters of a seed-independent SHA-256 of the key
-(Python's builtin ``hash`` is process-seeded and must never reach the
-wire).  Internal nodes are hex-prefix strings (``""`` is the root); a
+``depth`` hex characters of a seed-independent SHA-256-derived digest
+of the key (Python's builtin ``hash`` is process-seeded and must never
+reach the wire).  The digest leads with the key's **shard** — a hash
+of the LWG name alone (:mod:`repro.naming.sharding`) — so a shard is
+one depth-2 subtree and scoped descents reuse this tree as-is.  Internal nodes are hex-prefix strings (``""`` is the root); a
 node's hash combines its non-empty children's hashes in fixed child
 order, a bucket's hash combines its ``(key, order_key)`` leaf entries
 in sorted key order.  The tree is **sparse**: empty subtrees hash to
@@ -33,6 +35,7 @@ import hashlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .records import RecordKey
+from .sharding import SHARD_PREFIX_LEN, shard_of_lwg
 
 #: Hash of an empty subtree.  The empty string is deliberate: it is
 #: falsy (``if h:`` skips empty children), cannot collide with a real
@@ -58,10 +61,18 @@ def key_digest(key: RecordKey) -> str:
     Stable across processes, platforms and interpreter restarts: every
     replica must place every key in the same bucket or subtree
     comparison is meaningless.
+
+    The first :data:`~repro.naming.sharding.SHARD_PREFIX_LEN` hex
+    characters are a hash of the **LWG name alone** — the record's
+    shard — so every view of one LWG lands in the same depth-2 subtree
+    and a shard is exactly one Merkle subtree (the per-shard descent of
+    PROTOCOLS.md §18 reuses this tree unchanged).  The remaining
+    characters hash the full key, spreading a group's records across
+    the buckets inside its shard.
     """
     lwg, view = key
     raw = f"{lwg}\x00{view.coordinator}\x00{view.seq}".encode("utf-8")
-    return hashlib.sha256(raw).hexdigest()
+    return shard_of_lwg(lwg) + hashlib.sha256(raw).hexdigest()[SHARD_PREFIX_LEN:]
 
 
 def _entry_hash(key: RecordKey, order_key: tuple) -> str:

@@ -28,6 +28,11 @@ class NsRequest(NamingMessage):
     ``set``/``testset`` the record to (conditionally) install rides in
     ``record`` with its LWG-view parents in ``parents``; ``read`` only
     needs ``lwg``.
+
+    ``forwarded`` marks a request relayed by a non-owner server to one
+    of the LWG's shard owners (PROTOCOLS.md §18).  The owner answers
+    ``client`` directly; a forwarded request is served wherever it
+    lands (never re-forwarded), so relaying can not loop.
     """
 
     request_id: int = 0
@@ -36,6 +41,7 @@ class NsRequest(NamingMessage):
     lwg: LwgId = ""
     record: Optional[MappingRecord] = None
     parents: Tuple[ViewId, ...] = ()
+    forwarded: bool = False
 
 
 @dataclass(frozen=True)

@@ -43,11 +43,12 @@ import random
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from ..vsync.view import ViewId
 from .database import NamingDatabase
 from .records import MappingRecord
+from .sharding import shard_of_lwg
 
 #: Snapshot header magic; the space-separated sha256 of the body follows.
 SNAPSHOT_MAGIC = "LWGSNAP1"
@@ -214,6 +215,10 @@ class LoadResult:
     quarantined: int = 0
     #: True if the log ended in a torn (unterminated) line.
     log_truncated: bool = False
+    #: Records skipped because their shard is not in the caller's
+    #: ``owned`` scope (valid bytes, deliberately not loaded — a shard
+    #: hand-off or a stray foreign write, never damage).
+    filtered: int = 0
 
     @property
     def clean(self) -> bool:
@@ -229,6 +234,8 @@ class LoadResult:
             flags.append(f"quarantined={self.quarantined}")
         if self.log_truncated:
             flags.append("log-truncated")
+        if self.filtered:
+            flags.append(f"filtered={self.filtered}")
         return (
             f"records={len(self.db)} log_entries={self.log_entries} "
             f"{' '.join(flags) or 'clean'}"
@@ -279,6 +286,7 @@ class DurableStore:
         self._append(
             {
                 "k": "rec",
+                "s": shard_of_lwg(record.lwg),
                 "r": encode_record(record),
                 "p": [encode_view_id(p) for p in parents],
             }
@@ -306,11 +314,21 @@ class DurableStore:
     # Snapshot
     # ------------------------------------------------------------------
     def write_snapshot(self, db: NamingDatabase) -> None:
-        """Serialize ``db`` fully, retire the old snapshot, clear the log."""
+        """Serialize ``db`` fully, retire the old snapshot, clear the log.
+
+        Records are grouped by shard so a scoped :meth:`load` can skip
+        whole foreign shard groups; genealogy edges stay global (GC
+        needs the full ancestry regardless of which shards are loaded).
+        """
         edges = db.genealogy_edges()
+        shards: Dict[str, List[Dict[str, Any]]] = {}
+        for record in db.snapshot():
+            shards.setdefault(shard_of_lwg(record.lwg), []).append(
+                encode_record(record)
+            )
         body = _canonical(
             {
-                "records": [encode_record(r) for r in db.snapshot()],
+                "shards": shards,
                 "edges": sorted(
                     [encode_view_id(c), [encode_view_id(p) for p in parents]]
                     for c, parents in edges.items()
@@ -343,7 +361,7 @@ class DurableStore:
     # ------------------------------------------------------------------
     # Load
     # ------------------------------------------------------------------
-    def load(self) -> LoadResult:
+    def load(self, owned: Optional[FrozenSet[str]] = None) -> LoadResult:
         """Rebuild a database from snapshot + log, quarantining corruption.
 
         Read-only with respect to the durable areas.  The returned
@@ -351,6 +369,13 @@ class DurableStore:
         typically re-:meth:`attach` this store).  Replay ends with a
         full garbage-collection sweep so the result is the same
         fully-collected fixed point the live database maintains.
+
+        ``owned`` scopes the reload to a set of shards: records of
+        other shards are counted in :attr:`LoadResult.filtered` and not
+        applied (a sharded server recovers only its own data), while
+        genealogy — global knowledge — is always absorbed in full, so
+        the reloaded database garbage-collects exactly like the live
+        one did.  ``None`` loads everything.
         """
         db = NamingDatabase()
         result = LoadResult(db=db)
@@ -362,8 +387,20 @@ class DurableStore:
             else:
                 result.snapshot_used = True
                 self._replay_edges(db, parsed.get("edges", ()))
-                for encoded in parsed.get("records", ()):
-                    db.apply(decode_record(encoded))
+                shards = parsed.get("shards")
+                if shards is None:
+                    # Pre-sharding snapshot layout: one flat record list.
+                    groups = [("", parsed.get("records", ()))]
+                else:
+                    groups = sorted(shards.items())
+                for shard, encoded_records in groups:
+                    for encoded in encoded_records:
+                        record = decode_record(encoded)
+                        key = shard or shard_of_lwg(record.lwg)
+                        if owned is not None and key not in owned:
+                            result.filtered += 1
+                            continue
+                        db.apply(record)
         log = self.storage.read(AREA_LOG)
         if log:
             lines = log.split(b"\n")
@@ -378,18 +415,32 @@ class DurableStore:
                 if entry is None:
                     result.quarantined += 1
                     continue
-                self._replay_entry(db, entry)
+                self._replay_entry(db, entry, owned, result)
                 result.log_entries += 1
         db.garbage_collect()
         return result
 
-    def _replay_entry(self, db: NamingDatabase, entry: Dict[str, Any]) -> None:
+    def _replay_entry(
+        self,
+        db: NamingDatabase,
+        entry: Dict[str, Any],
+        owned: Optional[FrozenSet[str]],
+        result: LoadResult,
+    ) -> None:
         kind = entry.get("k")
         if kind == "rec":
-            db.apply(
-                decode_record(entry["r"]),
-                tuple(decode_view_id(p) for p in entry.get("p", ())),
-            )
+            record = decode_record(entry["r"])
+            parents = tuple(decode_view_id(p) for p in entry.get("p", ()))
+            shard = entry.get("s") or shard_of_lwg(record.lwg)
+            if owned is not None and shard not in owned:
+                # Foreign shard: keep the ancestry (global), drop the
+                # record — mirroring what the live replica stored.
+                result.filtered += 1
+                if parents:
+                    db.absorb_genealogy({record.lwg_view: parents})
+                    db.garbage_collect()
+                return
+            db.apply(record, parents)
         elif kind == "edges":
             self._replay_edges(db, entry.get("e", ()))
             # Mirrors reconciliation.absorb: fresh genealogy knowledge

@@ -1,10 +1,10 @@
 """The replicated name server process.
 
-Each :class:`NameServer` is a simulated process holding a full replica
-of the naming database.  Replicas are kept loosely consistent by
+Each :class:`NameServer` is a simulated process holding a replica of
+the naming database.  Replicas are kept loosely consistent by
 
-* **eager push** — every accepted write is immediately pushed to all
-  peer servers (best effort; drops across a partition), and
+* **eager push** — every accepted write is immediately pushed to peer
+  servers (best effort; drops across a partition), and
 * **periodic anti-entropy** — a bounded Merkle-prefix descent with one
   peer per gossip tick (PROTOCOLS.md §16): replicas compare subtree
   hashes root-down and ship records only for divergent leaves, which is
@@ -13,13 +13,24 @@ of the naming database.  Replicas are kept loosely consistent by
   healed cut *is* the reconciliation).  Identical replicas still
   short-circuit after two messages on the root content hash.
 
+Without a :class:`~repro.naming.sharding.ShardMap` the server is fully
+replicated — the paper-faithful configuration, bit-identical to the
+pre-sharding protocol.  With one, the server holds **only the shards
+it owns** (PROTOCOLS.md §18): pushes go to the record's shard
+co-owners, gossip runs only with servers sharing at least one shard
+and descends only their common subtrees (short-circuiting on the
+scoped hash), client requests for foreign shards are forwarded to an
+owner (which answers the client directly), and recovery reloads only
+owned shards from the durable store.
+
 After every mutation the server checks for inconsistent mappings and
 fires MULTIPLE-MAPPINGS callbacks at the affected LWG-view coordinators.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import replace
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..runtime.interfaces import NodeId, Runtime
 from ..sim.process import Process
@@ -42,6 +53,8 @@ from .reconciliation import (
     SyncDelta,
     absorb,
 )
+from .records import MappingRecord
+from .sharding import ShardMap, shard_of_lwg
 
 
 class NameServer(Process):
@@ -56,15 +69,23 @@ class NameServer(Process):
         renotify_period_us: int = 600_000,
         max_sync_rounds: int = DEFAULT_MAX_SYNC_ROUNDS,
         store: Optional[DurableStore] = None,
+        shard_map: Optional[ShardMap] = None,
     ):
         super().__init__(env, node)
+        #: Namespace partition (PROTOCOLS.md §18); None = full replication.
+        self.shard_map = shard_map
+        #: Shards this server replicates; None means "everything" (no
+        #: shard map, or a map whose replication factor covers the roster).
+        self.owned: Optional[FrozenSet[str]] = None
+        if shard_map is not None and not shard_map.fully_replicated:
+            self.owned = frozenset(shard_map.owned_shards(node))
         #: Durable snapshot+log store; None preserves the legacy
         #: volatile behaviour (the in-memory db survives a sim crash).
         self.store = store
         self.incarnation = 0
         if store is not None:
             restart = store.has_state()
-            result = store.load()
+            result = store.load(owned=self.owned)
             self._install_db(result.db)
             if restart:
                 # Booting over pre-existing state IS a restart (the
@@ -78,6 +99,12 @@ class NameServer(Process):
         else:
             self._install_db(NamingDatabase())
         self.peers: List[NodeId] = [p for p in peers if p != node]
+        #: Anti-entropy partners: peers sharing at least one shard with
+        #: us (everyone, when fully replicated).
+        self._gossip_peers: List[NodeId] = [
+            p for p in self.peers
+            if shard_map is None or shard_map.scope(node, p)
+        ]
         self.notifier = ConflictNotifier(
             server_id=node,
             send=self._send_callback,
@@ -91,10 +118,12 @@ class NameServer(Process):
         self._sessions: Dict[Tuple[NodeId, int], MerkleSession] = {}
         self.max_sync_rounds = max_sync_rounds
         self.requests_served = 0
+        self.requests_forwarded = 0
+        self._forward_index = 0
         self.syncs_started = 0
         self.syncs_short_circuited = 0
         self.syncs_capped = 0
-        if self.peers:
+        if self._gossip_peers:
             self.set_periodic(gossip_period_us, self.gossip_tick, jitter_stream=f"ns:{node}")
         self.set_periodic(renotify_period_us, self._notifier_tick)
 
@@ -102,6 +131,25 @@ class NameServer(Process):
         """Introduce another replica (scenario construction helper)."""
         if peer != self.node and peer not in self.peers:
             self.peers.append(peer)
+            if self.shard_map is None or self.shard_map.scope(self.node, peer):
+                self._gossip_peers.append(peer)
+
+    # ------------------------------------------------------------------
+    # Shard scope helpers
+    # ------------------------------------------------------------------
+    def _scope(self, peer: NodeId) -> Tuple[str, ...]:
+        """The Merkle prefixes ``peer`` and we reconcile over."""
+        if self.shard_map is None:
+            return ("",)
+        return self.shard_map.scope(self.node, peer)
+
+    def _accepts(self, record: MappingRecord) -> bool:
+        """True if this server stores records of the record's shard."""
+        return self.owned is None or shard_of_lwg(record.lwg) in self.owned
+
+    def _session_for(self, peer: NodeId) -> MerkleSession:
+        accept = None if self.owned is None else self._accepts
+        return MerkleSession(self.db, scope=self._scope(peer), accept=accept)
 
     # ------------------------------------------------------------------
     # Inbound
@@ -120,6 +168,16 @@ class NameServer(Process):
     # Client RPC
     # ------------------------------------------------------------------
     def _serve(self, src: NodeId, msg: NsRequest) -> None:
+        if (
+            self.owned is not None
+            and shard_of_lwg(msg.lwg) not in self.owned
+            and not msg.forwarded
+        ):
+            # Not ours: relay to one of the shard's owners, which will
+            # answer the client directly.  Already-forwarded requests
+            # are served wherever they land so relaying cannot loop.
+            self._forward(msg)
+            return
         self.requests_served += 1
         if msg.op == "set":
             assert msg.record is not None
@@ -140,25 +198,52 @@ class NameServer(Process):
             raise ValueError(f"unknown naming op {msg.op!r}")
         records = tuple(self.db.live_records(msg.lwg))
         response = NsResponse(request_id=msg.request_id, server=self.node, records=records)
-        self.send(src, response, response.size_bytes())
+        # Reply straight to the requesting client — identical to ``src``
+        # for direct requests, and the right recipient for forwarded ones.
+        self.send(msg.client, response, response.size_bytes())
         self.notifier.check(self.db)
 
+    def _forward(self, msg: NsRequest) -> None:
+        assert self.shard_map is not None
+        owners = self.shard_map.owners_for_lwg(msg.lwg)
+        target = owners[self._forward_index % len(owners)]
+        self._forward_index += 1
+        self.requests_forwarded += 1
+        forwarded = replace(msg, forwarded=True)
+        self.env.tracer.emit(
+            "naming",
+            "request_forwarded",
+            server=self.node,
+            owner=target,
+            lwg=msg.lwg,
+            op=msg.op,
+        )
+        self.send(target, forwarded, forwarded.size_bytes())
+
     def _push_write(self, msg: NsRequest) -> None:
-        if not self.peers:
-            return
         assert msg.record is not None
+        if self.shard_map is None:
+            targets = set(self.peers)
+        else:
+            targets = {
+                owner
+                for owner in self.shard_map.owners_for_lwg(msg.record.lwg)
+                if owner != self.node
+            }
+        if not targets:
+            return
         parents = {msg.record.lwg_view: tuple(msg.parents)} if msg.parents else {}
         push = PushUpdate(sender=self.node, records=(msg.record,), genealogy=parents)
-        self.multicast(set(self.peers), push, push.size_bytes())
+        self.multicast(targets, push, push.size_bytes())
 
     # ------------------------------------------------------------------
     # Anti-entropy
     # ------------------------------------------------------------------
     def gossip_tick(self) -> None:
-        """Open a Merkle descent with the next peer (round-robin)."""
-        if not self.peers:
+        """Open a Merkle descent with the next gossip peer (round-robin)."""
+        if not self._gossip_peers:
             return
-        peer = self.peers[self._gossip_index % len(self.peers)]
+        peer = self._gossip_peers[self._gossip_index % len(self._gossip_peers)]
         self._gossip_index += 1
         # A fresh exchange supersedes any unfinished session with this
         # peer (e.g. one cut short by a partition or the round cap).
@@ -166,28 +251,29 @@ class NameServer(Process):
             del self._sessions[key]
         self._sync_counter += 1
         self.syncs_started += 1
-        session = MerkleSession(self.db)
+        session = self._session_for(peer)
         delta = session.opener()
         self._sessions[(peer, self._sync_counter)] = session
         request = SyncRequest(
             sender=self.node,
             sync_id=self._sync_counter,
-            db_hash=self.db.content_hash(),
+            db_hash=self.db.scope_hash(self._scope(peer)),
             expansions=delta.expansions,
             genealogy_children=delta.genealogy_children,
         )
         self.send(peer, request, request.size_bytes())
 
     def _on_sync_request(self, src: NodeId, msg: SyncRequest) -> None:
-        if msg.db_hash and msg.db_hash == self.db.content_hash():
-            # Identical databases: nothing to ship in either direction.
+        if msg.db_hash and msg.db_hash == self.db.scope_hash(self._scope(src)):
+            # Identical databases over the shared scope: nothing to
+            # ship in either direction.
             self.syncs_short_circuited += 1
             ack = SyncReply(sender=self.node, sync_id=msg.sync_id, in_sync=True)
             self.send(src, ack, ack.size_bytes())
             return
         for key in [k for k in self._sessions if k[0] == src and k[1] != msg.sync_id]:
             del self._sessions[key]
-        session = MerkleSession(self.db)
+        session = self._session_for(src)
         self._sessions[(src, msg.sync_id)] = session
         out = session.handle(
             SyncDelta(
@@ -216,7 +302,7 @@ class NameServer(Process):
             # Step for a session we no longer track (superseded, or we
             # crashed mid-descent).  Every step is self-describing, so a
             # fresh session answers it correctly.
-            session = MerkleSession(self.db)
+            session = self._session_for(src)
             self._sessions[(src, msg.sync_id)] = session
         out = session.handle(
             SyncDelta(
@@ -270,7 +356,7 @@ class NameServer(Process):
         # last one, and compact to a fresh snapshot so the reloaded log
         # is not replayed twice.  Whatever the log lost, the next
         # Merkle-descent gossip re-reconciles from the peers.
-        result = self.store.load()
+        result = self.store.load(owned=self.owned)
         self._install_db(result.db)
         self.incarnation = self.store.bump_incarnation(at_least=self.incarnation)
         self.store.write_snapshot(self.db)
@@ -301,6 +387,10 @@ class NameServer(Process):
         )
 
     def _absorb_remote(self, records, genealogy) -> None:
+        if self.owned is not None:
+            # Drop pushes for shards we do not own (a stale or foreign
+            # sender); the genealogy still merges — it is global.
+            records = tuple(r for r in records if self._accepts(r))
         self._note_absorb(absorb(self.db, records, genealogy))
 
     def _note_absorb(self, result: ReconcileResult) -> None:

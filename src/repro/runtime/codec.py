@@ -7,10 +7,12 @@ on the hot path, and its frames carry class paths and field names that
 the receiver already knows.  :class:`CompactCodec` replaces it with a
 versioned tag-length-value encoding for the high-rate message types
 (LWG ``DATA``, LWG batches, the ordered data path and its stability
-acks, and the naming anti-entropy descent — ``SyncRequest`` /
-``SyncReply`` with their nested digest maps and mapping records) and
-keeps pickle as the fallback for the long tail of control messages,
-which are rare enough that convenience wins.
+acks, the naming anti-entropy descent — ``SyncRequest`` /
+``SyncReply`` with their nested digest maps and mapping records — and
+the naming hot path proper: client RPC ``NsRequest``/``NsResponse``
+(including the §18 ``forwarded`` relay bit) and eager ``PushUpdate``
+propagation) and keeps pickle as the fallback for the long tail of
+control messages, which are rare enough that convenience wins.
 
 Framing (network byte order throughout)::
 
@@ -32,7 +34,7 @@ import struct
 from typing import Any, Callable, Dict, List, Tuple
 
 from ..core.messages import LwgBatch, LwgData
-from ..naming.messages import SyncReply, SyncRequest
+from ..naming.messages import NsRequest, NsResponse, PushUpdate, SyncReply, SyncRequest
 from ..naming.records import MappingRecord
 from ..vsync.messages import Ordered, Publish, StabilityAck
 from ..vsync.view import ViewId
@@ -59,6 +61,9 @@ _STABILITY_ACK = 0x14
 _MAPPING_RECORD = 0x15
 _SYNC_REQUEST = 0x16
 _SYNC_REPLY = 0x17
+_NS_REQUEST = 0x18
+_NS_RESPONSE = 0x19
+_PUSH_UPDATE = 0x1A
 _PICKLE = 0x7F
 
 _I64_MIN = -(1 << 63)
@@ -176,6 +181,29 @@ def _w_value(out: List[bytes], value: Any) -> None:
         _w_value(out, value.records)
         _w_value(out, value.genealogy)
         _w_value(out, value.genealogy_children)
+    elif kind is NsRequest:
+        out.append(bytes((_NS_REQUEST,)))
+        out.append(_I64.pack(value.request_id))
+        _w_str(out, value.client)
+        _w_str(out, value.op)
+        _w_str(out, value.lwg)
+        _w_value(out, value.record)
+        _w_value(out, value.parents)
+        out.append(bytes((_TRUE if value.forwarded else _FALSE,)))
+    elif kind is NsResponse:
+        out.append(bytes((_NS_RESPONSE,)))
+        out.append(_I64.pack(value.request_id))
+        _w_str(out, value.server)
+        out.append(_U32.pack(len(value.records)))
+        for record in value.records:
+            _w_mapping_record_body(out, record)
+    elif kind is PushUpdate:
+        out.append(bytes((_PUSH_UPDATE,)))
+        _w_str(out, value.sender)
+        out.append(_U32.pack(len(value.records)))
+        for record in value.records:
+            _w_mapping_record_body(out, record)
+        _w_value(out, value.genealogy)
     elif kind is LwgData:
         out.append(bytes((_LWG_DATA,)))
         _w_lwg_data_body(out, value)
@@ -360,6 +388,51 @@ def _r_value(data: bytes, offset: int) -> Tuple[Any, int]:
                 in_sync=in_sync, expansions=expansions,
                 leaf_digests=leaf_digests, records=records,
                 genealogy=genealogy, genealogy_children=genealogy_children,
+            ),
+            offset,
+        )
+    if tag == _NS_REQUEST:
+        request_id, offset = _r_i64(data, offset)
+        client, offset = _r_str(data, offset)
+        op, offset = _r_str(data, offset)
+        lwg, offset = _r_str(data, offset)
+        record, offset = _r_value(data, offset)
+        parents, offset = _r_value(data, offset)
+        forwarded, offset = _r_value(data, offset)
+        return (
+            NsRequest(
+                request_id=request_id, client=client, op=op, lwg=lwg,
+                record=record, parents=parents, forwarded=forwarded,
+            ),
+            offset,
+        )
+    if tag == _NS_RESPONSE:
+        request_id, offset = _r_i64(data, offset)
+        server, offset = _r_str(data, offset)
+        count, offset = _r_u32(data, offset)
+        ns_records: List[MappingRecord] = []
+        for _ in range(count):
+            record, offset = _r_mapping_record_body(data, offset)
+            ns_records.append(record)
+        return (
+            NsResponse(
+                request_id=request_id, server=server,
+                records=tuple(ns_records),
+            ),
+            offset,
+        )
+    if tag == _PUSH_UPDATE:
+        sender, offset = _r_str(data, offset)
+        count, offset = _r_u32(data, offset)
+        push_records: List[MappingRecord] = []
+        for _ in range(count):
+            record, offset = _r_mapping_record_body(data, offset)
+            push_records.append(record)
+        genealogy, offset = _r_value(data, offset)
+        return (
+            PushUpdate(
+                sender=sender, records=tuple(push_records),
+                genealogy=genealogy,
             ),
             offset,
         )

@@ -23,6 +23,7 @@ from ..core.service import LwgService
 from ..naming.client import NamingClient
 from ..naming.persistence import DurableStore, MemoryStorage
 from ..naming.server import NameServer
+from ..naming.sharding import ShardMap
 from ..runtime.interfaces import SECOND, NodeId, Runtime
 from ..sim.network import LinkModel
 from ..sim.process import SimRuntime
@@ -57,6 +58,7 @@ class Cluster:
         checkers: bool = True,
         env: Optional[Runtime] = None,
         durable: bool = True,
+        replication_factor: Optional[int] = None,
     ):
         if flavour not in ("dynamic", "static", "isolated", "none"):
             raise ValueError(f"unknown service flavour {flavour!r}")
@@ -74,6 +76,13 @@ class Cluster:
         self.lwg_config = lwg_config or LwgConfig()
         self.vsync_config = vsync_config or VsyncConfig()
         self.name_server_ids = [f"ns{i}" for i in range(num_name_servers)]
+        # Replica-set scope (PROTOCOLS.md §18): ``replication_factor``
+        # turns on LWG-name sharding — each shard lives on ``rf`` of the
+        # name servers, chosen by rendezvous hashing.  ``None`` keeps the
+        # legacy fully-replicated deployment, bit-identical to before.
+        self.shard_map: Optional[ShardMap] = None
+        if replication_factor is not None:
+            self.shard_map = ShardMap(self.name_server_ids, replication_factor)
         # Per-node durable stores (crash-recovery state).  ``durable=False``
         # restores the legacy volatile behaviour where a recovered node
         # keeps its in-memory database and counters.
@@ -82,6 +91,7 @@ class Cluster:
             node: NameServer(
                 self.env, node, peers=self.name_server_ids,
                 store=self._make_store(node) if durable else None,
+                shard_map=self.shard_map,
             )
             for node in self.name_server_ids
         }
@@ -100,7 +110,7 @@ class Cluster:
             if flavour == "none":
                 self.services[node] = NoLwgService(stack)
                 continue
-            client = NamingClient(stack, self.name_server_ids)
+            client = NamingClient(stack, self.name_server_ids, shard_map=self.shard_map)
             self.clients[node] = client
             if flavour == "dynamic":
                 self.services[node] = make_dynamic_service(stack, client, self.lwg_config)

@@ -328,6 +328,61 @@ def test_callback_about_superseded_view_ignored():
     assert all(r.deleted for r in service.naming.unset_records)
 
 
+def test_winner_buries_unresponsive_loser_after_persistent_conflict():
+    """A dead fork's record can outlive every authority that could
+    retire it: its coordinator crashed for good, the winner never merged
+    with it (not an ancestor), and it wasn't minted here.  After
+    PERSISTENT_CONFLICT_ROUNDS identical callbacks the winning
+    coordinator buries it with the weakest tombstone."""
+    from repro.core.merge import PERSISTENT_CONFLICT_ROUNDS
+
+    service = FakeService(node="p0")
+    handler = ReconciliationHandler(service)
+    mine = view_of("lwg:a", "p0", 1, "p0", "p1")
+    make_local(service, "lwg:a", mine, hwg="hwg:zzz")
+    dead_fork = view_of("lwg:a", "p4", 4, "p4")
+    message = MultipleMappings(
+        lwg="lwg:a",
+        records=(record_for(mine, "hwg:zzz"), record_for(dead_fork, "hwg:aaa", 7)),
+    )
+    for _ in range(PERSISTENT_CONFLICT_ROUNDS - 1):
+        handler.on_multiple_mappings(message)
+    assert service.naming.unset_records == []  # still waiting it out
+    handler.on_multiple_mappings(message)
+    assert service.switches == []  # the winner never switches
+    assert handler.branches_buried == 1
+    [tomb] = service.naming.unset_records
+    assert tomb.deleted
+    # Weakest tombstone: same version and writer as the buried record,
+    # so any later write by a live branch overrides the burial.
+    assert (tomb.lwg_view, tomb.hwg, tomb.version) == (dead_fork.view_id, "hwg:aaa", 7)
+
+
+def test_changing_loser_set_resets_the_burial_countdown():
+    from repro.core.merge import PERSISTENT_CONFLICT_ROUNDS
+
+    service = FakeService(node="p0")
+    handler = ReconciliationHandler(service)
+    mine = view_of("lwg:a", "p0", 1, "p0", "p1")
+    make_local(service, "lwg:a", mine, hwg="hwg:zzz")
+    fork_a = view_of("lwg:a", "p4", 4, "p4")
+    fork_b = view_of("lwg:a", "p5", 2, "p5")
+    msg_a = MultipleMappings(
+        lwg="lwg:a",
+        records=(record_for(mine, "hwg:zzz"), record_for(fork_a, "hwg:aaa")),
+    )
+    msg_b = MultipleMappings(
+        lwg="lwg:a",
+        records=(record_for(mine, "hwg:zzz"), record_for(fork_b, "hwg:bbb")),
+    )
+    # A progressing conflict (loser set changes) never reaches burial.
+    for _ in range(PERSISTENT_CONFLICT_ROUNDS):
+        handler.on_multiple_mappings(msg_a)
+        handler.on_multiple_mappings(msg_b)
+    assert handler.branches_buried == 0
+    assert service.naming.unset_records == []
+
+
 def test_mid_switch_callback_deferred():
     service = FakeService(node="p0")
     handler = ReconciliationHandler(service)

@@ -35,14 +35,18 @@ def test_empty_tree_hashes_to_empty():
 
 def test_key_digest_is_seed_independent():
     # A fixed pin: if this ever changes, replicas of different builds
-    # would place keys in different buckets and never converge.
-    assert key_digest(("lwg:a", ViewId("p0", 1))).startswith("9b79921b")
+    # would place keys in different buckets and never converge.  The
+    # first two characters are the LWG's shard (sha256 of the bare
+    # name), so every view of one LWG shares a depth-2 subtree.
+    assert key_digest(("lwg:a", ViewId("p0", 1))).startswith("4c79921b")
     assert key_digest(("lwg:a", ViewId("p0", 1))) == key_digest(
         ("lwg:a", ViewId("p0", 1))
     )
     assert key_digest(("lwg:a", ViewId("p0", 1))) != key_digest(
         ("lwg:a", ViewId("p0", 2))
     )
+    # ...but different views of one LWG stay in the same shard prefix.
+    assert key_digest(("lwg:a", ViewId("p0", 2))).startswith("4c")
 
 
 def test_same_contents_same_hash_any_insertion_order():
