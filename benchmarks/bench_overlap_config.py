@@ -19,26 +19,53 @@ from repro.workloads.overlap import (
 )
 
 NS = (2, 4, 8)
-FLAVOURS = ("none", "static", "dynamic")
+FLAVOURS = ("none", "static", "dynamic", "optimizer")
+
+#: Scan rows -> (cluster flavour, placement policy).  "optimizer" is
+#: the dynamic service with the §19 global placement search instead of
+#: the Figure-1 rules; it must find the same partial-sharing structure.
+_VARIANTS = {
+    "none": ("none", "paper"),
+    "static": ("static", "paper"),
+    "dynamic": ("dynamic", "paper"),
+    "optimizer": ("dynamic", "optimizer"),
+}
+
+
+def class_pure(setup):
+    """True if no HWG carries LWGs of both membership classes."""
+    classes_on = {}
+    for (group, _node), handle in setup.handles.items():
+        cls = "A" if group in setup.groups_a else "B"
+        classes_on.setdefault(handle.hwg, set()).add(cls)
+    return all(len(cs) == 1 for cs in classes_on.values())
 
 
 def run_overlap_scan():
     latency = {flavour: [] for flavour in FLAVOURS}
     recovery = {flavour: [] for flavour in FLAVOURS}
     hwg_counts = {flavour: [] for flavour in FLAVOURS}
+    purity = []
     for n in NS:
         for flavour in FLAVOURS:
-            setup = build_overlap(n=n, flavour=flavour, seed=SEED)
+            cluster_flavour, placement = _VARIANTS[flavour]
+            setup = build_overlap(
+                n=n, flavour=cluster_flavour, seed=SEED, placement=placement
+            )
             hwg_counts[flavour].append(len(setup.hwgs_in_use()))
+            if flavour == "optimizer":
+                purity.append(class_pure(setup))
             stats = measure_overlap_latency(setup)
             latency[flavour].append(stats.mean_us / 1000.0)
-            fresh = build_overlap(n=n, flavour=flavour, seed=SEED)
+            fresh = build_overlap(
+                n=n, flavour=cluster_flavour, seed=SEED, placement=placement
+            )
             recovery[flavour].append(measure_overlap_recovery(fresh) / 1000.0)
-    return latency, recovery, hwg_counts
+    return latency, recovery, hwg_counts, purity
 
 
 def test_overlap_configuration(benchmark):
-    latency, recovery, hwg_counts = benchmark.pedantic(
+    latency, recovery, hwg_counts, optimizer_purity = benchmark.pedantic(
         run_overlap_scan, rounds=1, iterations=1
     )
     print(
@@ -100,6 +127,25 @@ def test_overlap_configuration(benchmark):
         shape_check(
             f"dynamic latency within 30% of none ({dynamic_lat:.2f} vs {none_lat:.2f}ms)",
             dynamic_lat <= 1.3 * none_lat,
+        ),
+        shape_check(
+            "optimizer never collapses across the 50% overlap "
+            f"(every HWG single-class): {optimizer_purity}",
+            all(optimizer_purity),
+        ),
+        shape_check(
+            "optimizer keeps a bounded per-class pool, not 2n like "
+            # The §19 cost model may split a hot class in two for load
+            # balance (skew term) — partial sharing is preserved, the
+            # pool never grows with n the way no-service's does.
+            f"no-service: {hwg_counts['optimizer']} vs {hwg_counts['none']}",
+            all(c <= 4 for c in hwg_counts["optimizer"])
+            and hwg_counts["optimizer"][0] == 2,
+        ),
+        shape_check(
+            "optimizer latency within 30% of the Figure-1 rules "
+            f"({statistics.fmean(latency['optimizer']):.2f} vs {dynamic_lat:.2f}ms)",
+            statistics.fmean(latency["optimizer"]) <= 1.3 * dynamic_lat,
         ),
     ]
     print("\n".join(checks))

@@ -671,3 +671,83 @@ def bench_naming_shard_scaleout(seed: int) -> Tuple[int, Dict[str, Any]]:
         "records_per_server_64": round(sweep[64]["records_per_server"], 1),
         "records_per_server_full_16": round(full["records_per_server"], 1),
     }
+
+
+# ----------------------------------------------------------------------
+# Policy-engine benchmarks (mirror benchmarks/bench_policies.py)
+# ----------------------------------------------------------------------
+POLICY_EVALS = 12
+POLICY_LWGS = 200
+POLICY_PROCS = 24
+POLICY_HWGS = 12
+
+
+def policy_scale_snapshot(seed: int):
+    """A high-group-count local state: 200 LWGs over 24 processes.
+
+    Deterministic from ``seed`` alone (a dedicated RNG stream — never
+    Python's hash order), shaped like the placement workload: nested
+    member windows per 12-process zone, LWG counts skewed toward the
+    narrow windows.
+    """
+    from ..core import PolicySnapshot
+    from ..runtime.rng import RngRegistry
+
+    rng = RngRegistry(seed).stream("bench:policy_scale")
+    procs = [f"p{i}" for i in range(POLICY_PROCS)]
+    hwgs = {}
+    for i in range(POLICY_HWGS):
+        zone = (i % 2) * 12
+        width = 4 + (i * 5) % 9  # 4..12
+        hwgs[f"hwg:{i:02d}"] = frozenset(procs[zone : zone + width])
+    hwg_names = sorted(hwgs)
+    coordinated = {}
+    for g in range(POLICY_LWGS):
+        hwg = hwg_names[rng.randrange(POLICY_HWGS)]
+        pool = sorted(hwgs[hwg])
+        width = max(1, len(pool) - rng.randrange(3))
+        coordinated[f"lwg:g{g:03d}"] = (frozenset(pool[:width]), hwg)
+    return PolicySnapshot(
+        node="p0",
+        now_us=60 * SECOND,
+        coordinated_lwgs=coordinated,
+        hwg_members=hwgs,
+        local_lwgs_per_hwg={
+            h: sum(1 for _, (_, u) in coordinated.items() if u == h)
+            for h in hwg_names
+        },
+        hwg_idle_since={h: 0 for h in hwg_names},
+        hwg_pinned={h: () for h in hwg_names},
+    )
+
+
+@_register(
+    "lwg.policy_eval_scale",
+    fast=True,
+    description="policy evaluation over 200 LWGs / 12 HWGs, paper vs optimizer",
+)
+def bench_policy_eval_scale(seed: int) -> Tuple[int, Dict[str, Any]]:
+    """Per-evaluation cost of both placement policies at high group count.
+
+    Each evaluation builds a fresh snapshot (the cached-property derived
+    data is part of the cost being measured, exactly as in production
+    where every policy tick starts from a new snapshot).
+    """
+    from ..core import LwgConfig, PolicyEngine
+
+    paper = PolicyEngine(LwgConfig())
+    optimizer = PolicyEngine(LwgConfig(placement_policy="optimizer"))
+    counts = {"paper": 0, "optimizer": 0}
+    for _ in range(POLICY_EVALS):
+        snap = policy_scale_snapshot(seed)
+        counts["paper"] += len(paper.evaluate(snap))
+        snap = policy_scale_snapshot(seed)
+        counts["optimizer"] += len(
+            optimizer.evaluate(snap, mint=lambda: "hwg:minted")
+        )
+    return 2 * POLICY_EVALS, {
+        "lwgs": POLICY_LWGS,
+        "hwgs": POLICY_HWGS,
+        "paper_actions_per_eval": counts["paper"] // POLICY_EVALS,
+        "optimizer_actions_per_eval": counts["optimizer"] // POLICY_EVALS,
+    }

@@ -26,7 +26,15 @@ from .mapping_policy import (
     HintedMappingPolicy,
     InitialMappingPolicy,
     IsolatedMappingPolicy,
+    OptimizerMappingPolicy,
     StaticMappingPolicy,
+)
+from .placement import (
+    OptimizerPlacementPolicy,
+    PlacementCost,
+    PlacementOptimizer,
+    PlacementPlan,
+    PlacementView,
 )
 from .mapping_table import LocalLwg, LwgState, MappingTable
 from .merge import MergeManager, ReconciliationHandler
@@ -60,7 +68,13 @@ __all__ = [
     "HintedMappingPolicy",
     "InitialMappingPolicy",
     "IsolatedMappingPolicy",
+    "OptimizerMappingPolicy",
     "StaticMappingPolicy",
+    "OptimizerPlacementPolicy",
+    "PlacementCost",
+    "PlacementOptimizer",
+    "PlacementPlan",
+    "PlacementView",
     "LocalLwg",
     "LwgState",
     "MappingTable",

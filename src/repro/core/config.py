@@ -25,6 +25,27 @@ class LwgConfig:
     k_c: int = 4
     #: How often the mapping heuristics run at each process.
     policy_period_us: int = 60 * SECOND
+    #: LWG→HWG placement strategy for the periodic re-evaluation:
+    #: ``"paper"`` runs the Figure-1 share/interference rules verbatim;
+    #: ``"optimizer"`` replaces them with the global placement optimizer
+    #: (:mod:`repro.core.placement`).  The shrink rule runs under both.
+    placement_policy: str = "paper"
+    #: Optimizer knobs (ignored under ``"paper"``).  At most this many
+    #: switches are emitted per evaluation — convergence spreads over
+    #: policy periods instead of storming the switch protocol.
+    placement_max_switches: int = 4
+    #: The plan must beat the current assignment's cost by this fraction
+    #: (with an absolute floor below) before any switch is emitted.
+    placement_hysteresis: float = 0.05
+    placement_min_gain: float = 1.0
+    #: Local-search bounds: refinement passes and swap-pair budget.
+    placement_max_passes: int = 3
+    placement_swap_budget: int = 256
+    #: An LWG is only movable once its view has been stable this long.
+    #: Moving a group mid-join churns the member set of two HWGs at
+    #: once and races the joiners' own HWG joins; waiting out the churn
+    #: costs one extra evaluation and avoids the storm entirely.
+    placement_settle_us: int = 5 * SECOND
     #: Master switches for the adaptive machinery (baselines turn them off).
     enable_policies: bool = True
     enable_reconciliation: bool = True
@@ -78,6 +99,10 @@ class LwgConfig:
     #: (keeps batches under transport datagram ceilings).
     batch_max_bytes: int = 16_384
 
+    def __post_init__(self) -> None:
+        if self.placement_policy not in ("paper", "optimizer"):
+            raise ValueError(f"unknown placement_policy: {self.placement_policy!r}")
+
     def scaled(self, factor: float) -> "LwgConfig":
         """A copy with every timer multiplied by ``factor``."""
         return replace(
@@ -89,4 +114,5 @@ class LwgConfig:
             switch_timeout_us=int(self.switch_timeout_us * factor),
             announce_period_us=int(self.announce_period_us * factor),
             coordinator_silence_us=int(self.coordinator_silence_us * factor),
+            placement_settle_us=int(self.placement_settle_us * factor),
         )

@@ -25,6 +25,21 @@ class InitialMappingPolicy:
         raise NotImplementedError
 
 
+def _member_hwgs(service):
+    """The service's cached member-HWG tuple (sorted), with a fallback
+    scan for bare test harnesses that stub the service object."""
+    getter = getattr(service, "member_hwgs", None)
+    if getter is not None:
+        return getter()
+    return tuple(
+        sorted(
+            group
+            for group, endpoint in service.stack.endpoints.items()
+            if is_hwg_id(group) and endpoint.state is EndpointState.MEMBER
+        )
+    )
+
+
 class DynamicMappingPolicy(InitialMappingPolicy):
     """Optimistic reuse: join the highest-gid HWG we already belong to.
 
@@ -33,12 +48,31 @@ class DynamicMappingPolicy(InitialMappingPolicy):
     """
 
     def choose(self, lwg: LwgId, service) -> Optional[HwgId]:
-        member_hwgs = [
-            group
-            for group, endpoint in service.stack.endpoints.items()
-            if is_hwg_id(group) and endpoint.state is EndpointState.MEMBER
-        ]
-        return max(member_hwgs) if member_hwgs else None
+        member_hwgs = _member_hwgs(service)
+        return member_hwgs[-1] if member_hwgs else None
+
+
+class OptimizerMappingPolicy(InitialMappingPolicy):
+    """Initial mapping under the placement optimizer: least-damage reuse.
+
+    Where the paper's optimistic rule joins the *highest-gid* member
+    HWG, the optimizer pairs with the *smallest* one: a brand-new LWG is
+    a singleton whose membership is unknown, so the cheapest guess is
+    the HWG whose fan-out it inflates least — the periodic optimizer
+    re-places it once the membership is real.  Ties break on the
+    identifier total order (highest wins), like the dynamic policy.
+    """
+
+    def choose(self, lwg: LwgId, service) -> Optional[HwgId]:
+        best = None
+        for hwg in _member_hwgs(service):
+            endpoint = service.stack.endpoints.get(hwg)
+            if endpoint is None or endpoint.current_view is None:
+                continue
+            key = (-len(endpoint.current_view.members), hwg)
+            if best is None or key > best[0]:
+                best = (key, hwg)
+        return best[1] if best is not None else None
 
 
 class StaticMappingPolicy(InitialMappingPolicy):

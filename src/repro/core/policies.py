@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from functools import cached_property
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..naming.records import HwgId, LwgId
 from ..vsync.view import ProcessId
@@ -76,6 +77,10 @@ class PolicySnapshot:
         hwg_idle_since: hwg -> sim time when the HWG last carried one of
             our LWGs (for the shrink grace period).
         busy_lwgs: LWGs currently mid-switch (never re-decided).
+        hwg_pinned: hwg -> (lwg, members) for every LWG view recorded in
+            the HWG's directory — cargo the placement optimizer must
+            treat as immovable when it isn't ours to move.  Only
+            populated under ``placement_policy="optimizer"``.
     """
 
     node: ProcessId
@@ -85,6 +90,32 @@ class PolicySnapshot:
     local_lwgs_per_hwg: Dict[HwgId, int]
     hwg_idle_since: Dict[HwgId, int] = field(default_factory=dict)
     busy_lwgs: FrozenSet[LwgId] = frozenset()
+    hwg_pinned: Dict[HwgId, Tuple[Tuple[LwgId, Members], ...]] = field(
+        default_factory=dict
+    )
+
+    # Derived data shared by the rule passes (each pass used to redo the
+    # sort/scan itself).  ``cached_property`` stores into the instance
+    # ``__dict__`` directly, which a frozen dataclass permits.
+    @cached_property
+    def sorted_hwgs(self) -> Tuple[HwgId, ...]:
+        """Every known HWG, in the identifier total order."""
+        return tuple(sorted(self.hwg_members))
+
+    @cached_property
+    def populated_hwgs(self) -> Tuple[HwgId, ...]:
+        """Known HWGs with a non-empty membership, sorted."""
+        return tuple(h for h in self.sorted_hwgs if self.hwg_members[h])
+
+    @cached_property
+    def hwg_items(self) -> Tuple[Tuple[HwgId, Members], ...]:
+        """(hwg, members) pairs in the identifier total order."""
+        return tuple((h, self.hwg_members[h]) for h in self.sorted_hwgs)
+
+    @cached_property
+    def sorted_coordinated(self) -> Tuple[LwgId, ...]:
+        """The LWGs we coordinate, in the identifier total order."""
+        return tuple(sorted(self.coordinated_lwgs))
 
 
 @dataclass(frozen=True)
@@ -111,14 +142,40 @@ PolicyAction = object  # SwitchAction | LeaveHwgAction (py39-compatible alias)
 # The engine
 # ----------------------------------------------------------------------
 class PolicyEngine:
-    """Evaluates the Figure-1 rules over a snapshot."""
+    """Evaluates the mapping rules over a snapshot.
+
+    Under the default ``placement_policy="paper"`` this is exactly the
+    Figure-1 share/interference/shrink cascade.  Under ``"optimizer"``
+    the share and interference rules are replaced by the global
+    placement optimizer (:mod:`repro.core.placement`); the shrink rule
+    drains emptied HWGs under both.
+    """
 
     def __init__(self, config: Optional[LwgConfig] = None):
         self.config = config or LwgConfig()
+        self._placement = None
+        if self.config.placement_policy == "optimizer":
+            from .placement import OptimizerPlacementPolicy  # no import cycle at call time
 
-    def evaluate(self, snap: PolicySnapshot) -> List[PolicyAction]:
-        """Return the actions the rules prescribe, deterministically ordered."""
+            self._placement = OptimizerPlacementPolicy(self.config)
+
+    def evaluate(
+        self,
+        snap: PolicySnapshot,
+        mint: Optional[Callable[[], HwgId]] = None,
+    ) -> List[PolicyAction]:
+        """Return the actions the rules prescribe, deterministically ordered.
+
+        ``mint`` lets the optimizer pre-mint one HWG id per fresh
+        placement group so co-placed LWGs land on a *shared* new HWG
+        (``SwitchAction(to_hwg=None)`` would mint one each).  The paper
+        rules never call it.
+        """
         actions: List[PolicyAction] = []
+        if self._placement is not None:
+            actions += self._placement.evaluate(snap, mint=mint)
+            actions += self._shrink_rule(snap)
+            return actions
         switched: Set[LwgId] = set()
         actions += self._share_rule(snap, switched)
         actions += self._interference_rule(snap, switched)
@@ -138,7 +195,7 @@ class PolicyEngine:
         shrink rule then drains the empty HWGs.
         """
         actions: List[PolicyAction] = []
-        hwgs = sorted(h for h in snap.hwg_members if snap.hwg_members[h])
+        hwgs = snap.populated_hwgs
         parent: Dict[HwgId, HwgId] = {h: h for h in hwgs}
 
         def find(h: HwgId) -> HwgId:
@@ -157,7 +214,7 @@ class PolicyEngine:
             root = find(h)
             if h > winners.get(root, ""):
                 winners[root] = h
-        for lwg in sorted(snap.coordinated_lwgs):
+        for lwg in snap.sorted_coordinated:
             if lwg in switched or lwg in snap.busy_lwgs:
                 continue
             _, underlying = snap.coordinated_lwgs[lwg]
@@ -175,7 +232,7 @@ class PolicyEngine:
     ) -> List[PolicyAction]:
         """Move minority LWGs to a close-enough HWG, or a fresh one."""
         actions: List[PolicyAction] = []
-        for lwg in sorted(snap.coordinated_lwgs):
+        for lwg in snap.sorted_coordinated:
             if lwg in switched or lwg in snap.busy_lwgs:
                 continue
             members, underlying = snap.coordinated_lwgs[lwg]
@@ -186,7 +243,7 @@ class PolicyEngine:
                 continue
             candidates = [
                 hwg
-                for hwg, hmembers in snap.hwg_members.items()
+                for hwg, hmembers in snap.hwg_items
                 if hwg != underlying
                 and is_close_enough(members, hmembers, self.config.k_c)
             ]
@@ -202,7 +259,7 @@ class PolicyEngine:
     def _shrink_rule(self, snap: PolicySnapshot) -> List[PolicyAction]:
         """Leave HWGs that have carried none of our LWGs for the grace period."""
         actions: List[PolicyAction] = []
-        for hwg in sorted(snap.hwg_members):
+        for hwg in snap.sorted_hwgs:
             if snap.local_lwgs_per_hwg.get(hwg, 0) > 0:
                 continue
             idle_since = snap.hwg_idle_since.get(hwg, snap.now_us)

@@ -33,7 +33,7 @@ from ..vsync.view import View, ViewId
 from .batching import BatchPacker
 from .config import LwgConfig
 from .ids import lwg_id as canonical_lwg_id
-from .ids import mint_hwg_id
+from .ids import is_hwg_id, mint_hwg_id
 from .join_leave import JoinDriver
 from .lwg_view import restrict_view
 from .mapping_policy import DynamicMappingPolicy, InitialMappingPolicy
@@ -175,7 +175,19 @@ class LwgService:
         self.node = stack.node
         self.naming = naming
         self.config = config or LwgConfig()
-        self.mapping_policy = mapping_policy or DynamicMappingPolicy()
+        if mapping_policy is None:
+            # The optimizer pairs with the least-damage initial guess;
+            # the paper rules pair with the paper's optimistic reuse.
+            if self.config.placement_policy == "optimizer":
+                from .mapping_policy import OptimizerMappingPolicy
+
+                mapping_policy = OptimizerMappingPolicy()
+            else:
+                mapping_policy = DynamicMappingPolicy()
+        self.mapping_policy = mapping_policy
+        #: (endpoint epoch, sorted member HWGs) — the cached member-HWG
+        #: set the mapping policies consult on every join.
+        self._member_hwgs_cache: Optional[Tuple[int, Tuple[HwgId, ...]]] = None
         self.table = MappingTable()
         self.merge_mgr = MergeManager(self)
         self.reconciler = ReconciliationHandler(self)
@@ -378,6 +390,27 @@ class LwgService:
     def hwg_endpoint(self, hwg: HwgId) -> Optional[HwgEndpoint]:
         return self.stack.endpoints.get(hwg)
 
+    def member_hwgs(self) -> Tuple[HwgId, ...]:
+        """Sorted HWGs this process is currently a member of.
+
+        Cached against the stack's endpoint epoch (bumped on every
+        endpoint state change), so the mapping policies stop rescanning
+        every endpoint on every join.
+        """
+        epoch = self.stack.endpoint_epoch
+        cached = self._member_hwgs_cache
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        hwgs = tuple(
+            sorted(
+                group
+                for group, endpoint in self.stack.endpoints.items()
+                if is_hwg_id(group) and endpoint.state is EndpointState.MEMBER
+            )
+        )
+        self._member_hwgs_cache = (epoch, hwgs)
+        return hwgs
+
     def hwg_send(self, hwg: HwgId, message: LwgMessage) -> None:
         # Control-messages-flush-first: data buffered before this control
         # message must not be reordered after it in the HWG total order.
@@ -554,6 +587,14 @@ class LwgService:
         """The coordinator dropped us (it believed us dead): rejoin."""
         self.stats.rejoin_recoveries += 1
         self.trace("lwg_forced_out", lwg=local.lwg, hwg=hwg)
+        # A switch in flight for this LWG cannot survive our reset: abort
+        # it while the view is still readable (the SwitchAbort unblocks
+        # the other members), and clear our own switch markers so the
+        # rejoined record starts clean.
+        driver = self._switch_drivers.pop(local.lwg, None)
+        if driver is not None and not driver.finished:
+            driver.abort("coordinator reset")
+        self._clear_switch_state(local)
         local.state = LwgState.JOINING
         local.view = None
         driver = JoinDriver(self, local)
@@ -660,6 +701,7 @@ class LwgService:
         local.minted_head = None
         local.views_installed += 1
         local.last_coordinator_heard = self.env.now
+        local.last_view_change_us = self.env.now
         self.stats.lwg_views_installed += 1
         if local.hwg is not None:
             self.table.dir_for(local.hwg).record_view(view)
@@ -1056,6 +1098,8 @@ class LwgService:
         hwg_members = {}
         local_per_hwg = {}
         idle_since = {}
+        hwg_pinned = {}
+        want_pinned = self.config.placement_policy == "optimizer"
         for hwg, endpoint in self.stack.endpoints.items():
             if not hwg.startswith("hwg:"):
                 continue
@@ -1068,10 +1112,28 @@ class LwgService:
             if used_by:
                 directory.last_useful_at = self.env.now
             idle_since[hwg] = directory.last_useful_at
-        busy = frozenset(
-            {l.lwg for l in self.table.locals.values() if l.switch_epoch is not None}
-            | set(self._switch_drivers)
-        )
+            if want_pinned:
+                # Every LWG view the directory pins on this HWG; the
+                # optimizer filters out the ones it may move itself.
+                hwg_pinned[hwg] = tuple(
+                    (lwg, frozenset(v.members))
+                    for lwg, v in sorted(directory.views.items())
+                )
+        busy = {l.lwg for l in self.table.locals.values() if l.switch_epoch is not None}
+        busy |= set(self._switch_drivers)
+        if want_pinned:
+            # Stability hysteresis: the optimizer must not move a group
+            # whose view is still settling (joins in flight) — churning
+            # two HWGs' member sets at once races the joiners' own HWG
+            # joins.  The paper rules never see this set.
+            settle = self.config.placement_settle_us
+            busy |= {
+                lwg
+                for lwg, local in self.table.locals.items()
+                if local.is_member
+                and self.env.now - local.last_view_change_us < settle
+            }
+        busy = frozenset(busy)
         return PolicySnapshot(
             node=self.node,
             now_us=self.env.now,
@@ -1080,12 +1142,13 @@ class LwgService:
             local_lwgs_per_hwg=local_per_hwg,
             hwg_idle_since=idle_since,
             busy_lwgs=busy,
+            hwg_pinned=hwg_pinned,
         )
 
     def run_policies_once(self) -> List[object]:
         """Evaluate the Figure-1 rules and execute the resulting actions."""
         snapshot = self.build_policy_snapshot()
-        actions = self.policy_engine.evaluate(snapshot)
+        actions = self.policy_engine.evaluate(snapshot, mint=self.mint_hwg_id)
         for action in actions:
             if isinstance(action, SwitchAction):
                 local = self.table.local(action.lwg)

@@ -84,7 +84,11 @@ class SwitchDriver:
         if self._timer is not None:
             self._timer.cancel()
         self.svc.trace("switch_abort", lwg=self.lwg, epoch=self.epoch, why=why)
-        assert self.local.view is not None
+        if self.local.view is None:
+            # Our own LWG membership was reset mid-switch (forced out or
+            # left): there is no view left to unblock — members clear
+            # stale switch state on their own timer.
+            return
         self.svc.hwg_send(
             self.from_hwg,
             SwitchAbort(lwg=self.lwg, view_id=self.local.view.view_id, epoch=self.epoch),
@@ -105,7 +109,8 @@ class SwitchDriver:
             self._check_complete()
 
     def _check_complete(self) -> None:
-        assert self.local.view is not None
+        if self.local.view is None:
+            return  # record reset mid-switch; the timeout will abort us
         needed = set(self.local.view.members)
         if needed <= self.ready:
             self.committed = True

@@ -98,6 +98,8 @@ class GeneratorConfig:
     #: 0 = legacy fully-replicated naming; >0 shards the namespace with
     #: this many replicas per shard (PROTOCOLS.md §18).
     replication_factor: int = 0
+    #: LWG→HWG placement strategy ("paper" or "optimizer", §19).
+    placement: str = "paper"
     num_groups: int = 3
     min_steps: int = 8
     max_steps: int = 16
@@ -141,11 +143,16 @@ class ScheduleGenerator:
             num_processes=config.num_processes,
             num_name_servers=config.num_name_servers,
             replication_factor=config.replication_factor,
+            placement=config.placement,
             groups=groups,
             initial_members=initial,
             steps=steps,
             profile=self.profile,
-            label=f"fuzz-{self.seed}-{self.profile}-{index:04d}",
+            label=(
+                f"fuzz-{self.seed}-{self.profile}-{index:04d}"
+                if config.placement == "paper"
+                else f"fuzz-{self.seed}-{self.profile}-{config.placement}-{index:04d}"
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from ..core.config import LwgConfig
 from ..core.ids import lwg_id
 from ..naming.persistence import CORRUPTION_MODES, inject_corruption
 from ..sim.engine import MS, SECOND
+from ..vsync.stack import VsyncConfig
 from ..workloads.cluster import Cluster
 from .schedule import Schedule, Step
 
@@ -98,9 +99,9 @@ class _TraceDigest:
         return self._hash.hexdigest()[:length]
 
 
-def _scaled_config() -> LwgConfig:
+def _scaled_config(placement: str = "paper") -> LwgConfig:
     """Fuzz-friendly timers (same scaling the soak tests use)."""
-    config = LwgConfig()
+    config = LwgConfig(placement_policy=placement)
     config.policy_period_us = 2 * SECOND
     config.shrink_grace_us = 1 * SECOND
     return config
@@ -123,7 +124,10 @@ class ScheduleRunner:
             seed=schedule.seed,
             num_name_servers=schedule.num_name_servers,
             replication_factor=schedule.replication_factor or None,
-            lwg_config=_scaled_config(),
+            lwg_config=_scaled_config(schedule.placement),
+            vsync_config=VsyncConfig(
+                heal_hardening=(schedule.placement == "optimizer")
+            ),
             keep_trace=False,
         )
         self.cluster.env.tracer.subscribe(self.digest.on_record)

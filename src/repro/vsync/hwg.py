@@ -89,7 +89,7 @@ class HwgEndpoint:
         self.node: NodeId = stack.node
         self.group = group
         self.listener = listener or HwgListener()
-        self.state = EndpointState.IDLE
+        self._state = EndpointState.IDLE
         self.current_view: Optional[View] = None
         self.known_ancestors: Set[ViewId] = set()
         self.channel = OrderedChannel(self)
@@ -105,6 +105,17 @@ class HwgEndpoint:
         self._join_timer = None
         self._leave_timer = None
         self.views_installed = 0
+
+    @property
+    def state(self) -> EndpointState:
+        return self._state
+
+    @state.setter
+    def state(self, value: EndpointState) -> None:
+        # Every transition invalidates endpoint-derived caches above
+        # (the stack-wide epoch backs e.g. the member-HWG set cache).
+        self._state = value
+        self.stack.endpoint_epoch += 1
 
     @property
     def fd(self):

@@ -47,6 +47,30 @@ MERGE_BRANCH_TIMEOUT_US = 900_000
 #: How long a subordinate branch waits for the merge leader's InstallView.
 INSTALL_TIMEOUT_US = 1_500_000
 
+#: Hardened-mode (VsyncConfig.heal_hardening) overrides.  A mass heal
+#: congests the shared medium far past the single-round-trip budgets
+#: above: dropping branches at 900 ms when the wire is running
+#: second-plus one-way latencies only restarts the chase and adds its
+#: own retry traffic.  The leader waits several uncongested round
+#: trips; the subordinate waits past the *leader's* whole round budget
+#: (plus install latency) before concluding the leader is gone.
+HARDENED_MERGE_TIMEOUT_US = 3 * MERGE_BRANCH_TIMEOUT_US
+HARDENED_INSTALL_TIMEOUT_US = 2 * HARDENED_MERGE_TIMEOUT_US
+
+#: Hardened abandoned-branch confirmation window: a member keeps
+#: treating a coordinator beacon for an unknown view as inconclusive
+#: until sightings of it span this long (a congested InstallView can
+#: trail the beacons announcing it by seconds; seceding early shatters
+#: a view that was about to complete).
+ABANDONED_CONFIRM_US = 3_000_000
+
+#: How long a hardened leader-eligible coordinator keeps deferring its
+#: own merge rounds after sighting a beacon from a *smaller* live
+#: coordinator (who will absorb us; our competing round would only add
+#: traffic).  A few beacon periods: if the smaller leader dies, its
+#: beacons stop and the window lapses.
+MERGE_DEFER_WINDOW_US = 2_000_000
+
 
 class EndpointState(enum.Enum):
     """Lifecycle of an endpoint's group membership."""
@@ -82,6 +106,7 @@ class _Round:
         self.joins: Set[NodeId] = set()
         self.leaves: Set[NodeId] = set()
         self.suspects: Set[NodeId] = set()
+        self.refresh = False
         self.foreign: Dict[NodeId, _ForeignBranch] = {}
         self.flush: Optional[BranchFlushLeader] = None
         self.own_done: Optional[Tuple[Tuple[NodeId, ...], Dict[NodeId, int]]] = None
@@ -100,6 +125,10 @@ class _Subordinate:
         self.flush: Optional[BranchFlushLeader] = None
         self.reported = False
         self.install_timer = None
+        #: Flush result, kept so a retrying leader can be re-reported
+        #: under its fresh epoch without re-flushing.
+        self.survivors: Tuple[NodeId, ...] = ()
+        self.dedup: Dict[NodeId, int] = {}
 
 
 class ViewChangeManager:
@@ -122,6 +151,15 @@ class ViewChangeManager:
         self._epoch_counter = 0
         self.refresh_requested = False
         self._abandoned_evidence: Optional[ViewId] = None
+        self._abandoned_seen_at = 0
+        #: Hardened mode: sim-time until which merge-only rounds are
+        #: deferred because a smaller live coordinator was sighted.
+        self._defer_until = 0
+
+    @property
+    def _hardened(self) -> bool:
+        """Mass-heal hardening enabled (see VsyncConfig.heal_hardening)."""
+        return self.ep.stack.config.heal_hardening
 
     # ------------------------------------------------------------------
     # Role queries
@@ -213,19 +251,40 @@ class ViewChangeManager:
             return
         if msg.view_id in self.ep.known_ancestors:
             return  # a stale beacon from a view we already superseded
-        if self.ep.node not in msg.members and src == self.acting_coordinator():
-            # Our own coordinator is beaconing a view that excludes us: we
-            # were dropped from a flush while alive (e.g. a deferred
-            # StopOk, or a one-way reachability glitch).  Two consecutive
-            # sightings (beacons are periodic; a racing InstallView lands
-            # in between) confirm abandonment — then we secede into a
-            # singleton view and let the merge machinery reunite us.
+        included = self.ep.node in msg.members
+        if (not included or self._hardened) and src == self.acting_coordinator():
+            # Our own coordinator is beaconing a view that is neither
+            # ours nor one we superseded: it moved on without us.  Either
+            # the view excludes us (we were dropped from a flush while
+            # alive — a deferred StopOk, or a one-way reachability
+            # glitch), or — under heal hardening — it *includes* us but
+            # we never installed it (a leave/rejoin race: the
+            # intermediate view that cut us was ignored while we sat in
+            # MEMBER state, so the re-adding install arrived via a
+            # branch we don't descend from and was refused).  Either way
+            # we are deaf on a stale branch and no retransmission is
+            # coming.  Two consecutive sightings (beacons are periodic;
+            # a racing InstallView lands in between) confirm the strand
+            # — then we secede into a singleton view and let the merge
+            # machinery reunite us.  Hardened mode additionally demands
+            # that the sightings span a real confirmation window: during
+            # a congested mass heal an InstallView can trail the beacons
+            # announcing it by several seconds, and seceding on two
+            # quick sightings would shatter views the install was about
+            # to complete.
             if self._abandoned_evidence == msg.view_id:
+                if (
+                    self._hardened
+                    and self.ep.env.now - self._abandoned_seen_at
+                    < ABANDONED_CONFIRM_US
+                ):
+                    return  # keep the evidence; the window is still open
                 self._abandoned_evidence = None
                 self.ep.trace("abandoned_secede", stale_view=str(view.view_id))
                 self.ep.secede()
             else:
                 self._abandoned_evidence = msg.view_id
+                self._abandoned_seen_at = self.ep.env.now
             return
         if not self.am_leader():
             return
@@ -234,6 +293,13 @@ class ViewChangeManager:
         if self.ep.node < src:
             self.pending_merges[src] = msg
             self.maybe_start()
+        elif self._hardened:
+            # A smaller live coordinator is beaconing.  It will absorb
+            # us (everyone yields to the smaller leader), so starting
+            # our own merge round toward third parties only adds a
+            # competing leader to the heal storm.  Defer merge-only
+            # rounds while its beacons stay fresh.
+            self._defer_until = self.ep.env.now + MERGE_DEFER_WINDOW_US
 
     def request_refresh(self) -> None:
         """Force a flush + identity view change (Figure-5 merge support).
@@ -266,6 +332,16 @@ class ViewChangeManager:
         refresh = self.refresh_requested
         if not (suspects or joins or leaves or merges or refresh):
             return
+        if (
+            self._hardened
+            and merges
+            and not (suspects or joins or leaves or refresh)
+            and self.ep.env.now < self._defer_until
+        ):
+            # Merge-only work while a smaller coordinator's beacons are
+            # fresh: it will absorb us; hold our fire (pending merges
+            # stay queued for when the window lapses).
+            return
         self.refresh_requested = False
         self._epoch_counter += 1
         round_no = self.highest_round_seen + 1
@@ -274,6 +350,7 @@ class ViewChangeManager:
         rnd.joins = joins
         rnd.leaves = leaves
         rnd.suspects = suspects
+        rnd.refresh = refresh
         self.pending_joins -= joins
         self.pending_leaves -= leaves
         self.pending_merges.clear()
@@ -296,7 +373,9 @@ class ViewChangeManager:
             )
         if rnd.foreign:
             rnd.merge_timer = self.ep.env.scheduler.schedule(
-                MERGE_BRANCH_TIMEOUT_US, lambda: self._merge_timeout(rnd)
+                HARDENED_MERGE_TIMEOUT_US if self._hardened
+                else MERGE_BRANCH_TIMEOUT_US,
+                lambda: self._merge_timeout(rnd),
             )
         self._start_own_flush(rnd)
 
@@ -370,8 +449,21 @@ class ViewChangeManager:
 
     def on_branch_flushed(self, msg: BranchFlushed) -> None:
         rnd = self.round
-        if rnd is None or msg.epoch != rnd.epoch:
+        if rnd is None or msg.epoch > rnd.epoch:
             return
+        if msg.epoch != rnd.epoch and not self._hardened:
+            return
+        # Under hardening, a report paired with an *older* epoch of ours
+        # is still good:
+        # the branch froze at its cut when it flushed and stays frozen
+        # until our install, so a reply that congestion pushed past the
+        # merge timeout of the round that requested it answers the
+        # current round's request just as well.  (Requiring an exact
+        # epoch match livelocks under load: every round's replies land
+        # just after that round dropped its branches, forever.)  If the
+        # branch moved on after all — it gave up waiting and installed
+        # a recovery view — our install is refused over there and the
+        # merged view's flush stall shrinks it back out.
         branch = rnd.foreign.get(msg.branch_coordinator)
         if branch is None or branch.status is not _BranchStatus.WAITING:
             return
@@ -405,6 +497,30 @@ class ViewChangeManager:
         old_view = self.ep.current_view
         assert old_view is not None and rnd.own_done is not None
         survivors, dedup = rnd.own_done
+        flushed_any = any(
+            b.status is _BranchStatus.FLUSHED for b in rnd.foreign.values()
+        )
+        if (
+            self._hardened
+            and rnd.foreign
+            and not flushed_any
+            and not rnd.joins
+            and not rnd.leaves
+            and not rnd.refresh
+            and tuple(survivors) == old_view.members == (self.ep.node,)
+        ):
+            # A merge-only singleton round whose every foreign branch
+            # declined or timed out.  Minting an identity view here is
+            # not harmless: it bumps our view id, which invalidates the
+            # Presence every *other* leader is about to target us with —
+            # N healing singletons churn each other's merge targets
+            # forever (a beacon-lag livelock).  Keep the current view,
+            # resume the channel, and retry on the next beacon.
+            self.ep.trace("merge_round_noop", round_no=rnd.round_no)
+            self.round = None
+            self.ep.participant.reset()
+            self.ep.channel.thaw()
+            return
         branches = [
             View(self.ep.group, old_view.view_id, tuple(survivors), old_view.parents)
         ]
@@ -534,17 +650,69 @@ class ViewChangeManager:
     def on_merge_request(self, src: NodeId, msg: MergeRequest) -> None:
         view = self.ep.current_view
         decline = MergeDecline(group=self.ep.group, decliner=self.ep.node, epoch=msg.epoch)
+        if not self._hardened:
+            # Conservative baseline: decline anything but an exact-target
+            # request to an idle leader.
+            if (
+                self.ep.state is not EndpointState.MEMBER
+                or view is None
+                or view.view_id != msg.target_view_id
+                or not self.am_leader()
+                or self.round is not None
+                or self.subordinate is not None
+                or not (msg.leader < self.ep.node)
+            ):
+                self.ep.reliable_send(src, decline)
+                return
+            self._accept_merge(msg)
+            return
+        sub = self.subordinate
+        if sub is not None:
+            if sub.leader == msg.leader:
+                # The leader's previous round moved on before our flush
+                # report reached it and it is retrying.  Our branch is
+                # frozen at the reported cut, so pair with the retry's
+                # epoch (and re-report if the flush already finished)
+                # instead of busy-declining — a mass heal would
+                # otherwise burn one install timeout per absorbed
+                # branch.
+                sub.epoch = msg.epoch
+                if sub.reported:
+                    self.ep.trace("merge_rereport", leader=msg.leader, epoch=msg.epoch)
+                    self._report_flush(sub)
+                return
+            self.ep.reliable_send(src, decline)
+            return
+        # Note: msg.target_view_id is deliberately *not* matched against
+        # our current view.  The request targets whatever Presence the
+        # leader saw last; under a mass heal our view id may have moved
+        # on by the time it lands.  The flush covers our *current* view
+        # and BranchFlushed carries that view explicitly, so a stale
+        # hint is harmless — declining it would leave two healing
+        # coordinators chasing each other's beacons forever.
         if (
             self.ep.state is not EndpointState.MEMBER
             or view is None
-            or view.view_id != msg.target_view_id
             or not self.am_leader()
-            or self.round is not None
-            or self.subordinate is not None
             or not (msg.leader < self.ep.node)
         ):
             self.ep.reliable_send(src, decline)
             return
+        if self.round is not None:
+            # We lead our own round, but a *smaller* leader wants to
+            # absorb us.  Busy-declining here livelocks a symmetric merge
+            # storm (N singleton leaders each perpetually mid-round,
+            # declining each other forever); yielding to the smaller id
+            # makes the order total — the globally smallest leader never
+            # yields, so some merge always completes.
+            self.ep.trace("merge_yield", to=msg.leader)
+            self._abandon_round(self.round)
+        self._accept_merge(msg)
+
+    def _accept_merge(self, msg: MergeRequest) -> None:
+        """Become the subordinate of ``msg.leader``: flush our branch."""
+        view = self.ep.current_view
+        assert view is not None
         round_no = self.highest_round_seen + 1
         self.highest_round_seen = round_no
         sub = _Subordinate(leader=msg.leader, epoch=msg.epoch, round_no=round_no)
@@ -567,6 +735,13 @@ class ViewChangeManager:
         if self.subordinate is not sub or sub.reported:
             return
         sub.reported = True
+        sub.survivors = tuple(survivors)
+        sub.dedup = dict(dedup)
+        self._report_flush(sub)
+
+    def _report_flush(self, sub: _Subordinate) -> None:
+        """(Re-)send BranchFlushed to the merge leader and (re-)arm the
+        install timeout."""
         view = self.ep.current_view
         assert view is not None
         self.ep.reliable_send(
@@ -575,13 +750,16 @@ class ViewChangeManager:
                 group=self.ep.group,
                 epoch=sub.epoch,
                 branch_view=view,
-                survivors=survivors,
-                dedup=dedup,
+                survivors=sub.survivors,
+                dedup=dict(sub.dedup),
                 branch_coordinator=self.ep.node,
             ),
         )
+        if sub.install_timer is not None:
+            sub.install_timer.cancel()
         sub.install_timer = self.ep.env.scheduler.schedule(
-            INSTALL_TIMEOUT_US, lambda: self._subordinate_install_timeout(sub, survivors, dedup)
+            HARDENED_INSTALL_TIMEOUT_US if self._hardened else INSTALL_TIMEOUT_US,
+            lambda: self._subordinate_install_timeout(sub, sub.survivors, sub.dedup),
         )
 
     def _subordinate_stalled(self, sub: _Subordinate, missing: Set[NodeId]) -> None:
@@ -616,6 +794,22 @@ class ViewChangeManager:
             return
         view = self.ep.current_view
         assert view is not None
+        if (
+            self._hardened
+            and view.members == (self.ep.node,)
+            and tuple(survivors) == view.members
+        ):
+            # Singleton branch: there is nobody a recovery *install*
+            # would tell anything new — minting a fresh view id here
+            # only invalidates the (still retrying, merely congested)
+            # leader's round and restarts the chase.  Resume the current
+            # view instead; the next MergeRequest re-flushes from
+            # scratch, so messages published after the thaw are covered.
+            self.ep.trace("merge_recovery_noop", round_no=sub.round_no)
+            self._clear_subordinate()
+            self.ep.participant.reset()
+            self.ep.channel.thaw()
+            return
         recovery = View(
             group=self.ep.group,
             view_id=ViewId(self.ep.node, self.ep.stack.next_view_seq()),

@@ -48,11 +48,26 @@ class VsyncConfig:
     #: long.  Kept below stability_period_us so an idle channel still
     #: converges within one tick.
     ack_idle_timeout_us: int = 400_000
+    #: Mass-heal hardening for the merge machinery.  Off by default: the
+    #: conservative rules are the validated baseline and every pinned
+    #: trace digest was recorded under them.  The placement optimizer's
+    #: switch churn can shatter HWGs into dozens of concurrently healing
+    #: singleton views, where the conservative rules livelock (busy
+    #: declines, beacon-lag target mismatches, view-id churn that
+    #: invalidates in-flight merges); optimizer configurations turn this
+    #: on to enable yield-to-smaller-leader, stale-target tolerance,
+    #: flush re-reports, late-reply acceptance and no-op-round elision.
+    heal_hardening: bool = False
 
     def scaled(self, factor: float) -> "VsyncConfig":
         """A copy with every timer multiplied by ``factor``."""
         return VsyncConfig(
-            **{name: int(getattr(self, name) * factor) for name in vars(self)}
+            **{
+                name: int(getattr(self, name) * factor)
+                for name in vars(self)
+                if name != "heal_hardening"
+            },
+            heal_hardening=self.heal_hardening,
         )
 
 
@@ -85,6 +100,10 @@ class ProtocolStack(Process):
         )
         self.fd.subscribe(self._on_suspicion_change)
         self.endpoints: Dict[GroupId, HwgEndpoint] = {}
+        #: Bumped on every endpoint creation/drop/state change; lets the
+        #: layers above cache endpoint-derived sets (e.g. the member-HWG
+        #: list the mapping policies consult) without rescans.
+        self.endpoint_epoch = 0
         # Components above vsync (naming client, LWG layer) register
         # handlers here; a handler returning True consumes the message.
         self.extra_handlers: list = []
@@ -122,6 +141,7 @@ class ProtocolStack(Process):
         if ep is None:
             ep = HwgEndpoint(self, group, listener)
             self.endpoints[group] = ep
+            self.endpoint_epoch += 1
         elif listener is not None:
             ep.listener = listener
         return ep
@@ -129,6 +149,7 @@ class ProtocolStack(Process):
     def drop_endpoint(self, group: GroupId) -> None:
         """Forget an endpoint (after it left its group)."""
         self.endpoints.pop(group, None)
+        self.endpoint_epoch += 1
 
     def next_view_seq(self) -> int:
         """Monotonic per-process counter for minting view identifiers.

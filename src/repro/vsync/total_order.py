@@ -100,6 +100,21 @@ class OrderedChannel:
         """Stop ordering/publishing; called when a flush begins."""
         self.frozen = True
 
+    def thaw(self) -> None:
+        """Resume in the *same* view after an abandoned view change.
+
+        Used when a flush completed but the round was dropped without
+        installing a successor (e.g. a merge-only round whose foreign
+        branches all declined).  Per-view state survives; sends queued
+        while frozen are (re-)published — the sequencer's
+        ``_ordered_in_view`` set makes replays idempotent.
+        """
+        self.frozen = False
+        my_floor = self.dedup_floor.get(self.host.node, -1)
+        for sender_seq, (payload, size) in list(self.pending.items()):
+            if sender_seq > my_floor:
+                self._publish(sender_seq, payload, size)
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------

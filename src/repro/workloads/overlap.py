@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..metrics.collectors import SummaryStats
 from ..sim.engine import MS, SECOND
+from ..vsync.stack import VsyncConfig
 from .cluster import Cluster
 from .scenarios import _scaled_lwg_config
 from .traffic import ProbeHub, ProbeListener, probe_payload
@@ -69,13 +70,22 @@ def build_overlap(
     flavour: str,
     seed: int = 0,
     settle_seconds: Optional[float] = None,
+    placement: str = "paper",
 ) -> OverlapSetup:
-    """Build and converge configuration B under the given service."""
+    """Build and converge configuration B under the given service.
+
+    ``placement`` selects the dynamic service's mapping policy
+    (PROTOCOLS.md §19); the default leaves every flavour exactly as
+    the paper ran it.
+    """
+    config = _scaled_lwg_config()
+    config.placement_policy = placement
     cluster = Cluster(
         num_processes=6,
         seed=seed,
         flavour=flavour,
-        lwg_config=_scaled_lwg_config(),
+        lwg_config=config,
+        vsync_config=VsyncConfig(heal_hardening=(placement == "optimizer")),
         keep_trace=False,
     )
     hub = ProbeHub(env=cluster.env)
@@ -113,7 +123,11 @@ def build_overlap(
         settle_seconds = 8.0 + 0.75 * n
     if not cluster.run_until(setup.converged, timeout_us=int(settle_seconds * SECOND)):
         raise RuntimeError(f"overlap(n={n}, {flavour}) failed to converge")
-    cluster.run_for_seconds(2.0)
+    # The optimizer defers moves until placement_settle_us after the
+    # last view change, then drains per policy tick — give it the extra
+    # window to consolidate the per-group bootstrap HWGs.  The paper
+    # rules act immediately; their window stays exactly as before.
+    cluster.run_for_seconds(2.0 if placement == "paper" else 14.0)
     return setup
 
 

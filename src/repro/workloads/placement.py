@@ -1,0 +1,496 @@
+"""High-group-count placement workload: Zipf-ish classes over two zones.
+
+The scenario is built so the paper's Figure-1 rules converge to a
+mapping they can never improve, while the global optimizer
+(:mod:`repro.core.placement`) finds a strictly cheaper one:
+
+* a **zone** is 12 processes: one *dominant* class spans the whole
+  zone, and the other classes are nested prefixes of it (4-8 process
+  subsets), the hierarchy real deployments show (everyone / a team / a
+  pair of replicas);
+* under the paper rules each zone is driven onto **one 12-member HWG**,
+  from any intermediate state: all of a zone's classes share a
+  coordinator (the first zone process), so whenever churn strands a
+  sub-class on its own HWG, that coordinator sees both HWGs, the
+  sub-class is a non-minority subset of the zone HWG (``4*4 > 12``),
+  and the share rule collapses the pair right back together;
+* the collapse is irreversible: every sub-class covers 33-67% of the
+  zone HWG — never a minority under ``k_m = 4`` — so the interference
+  rule holds the mapping forever, and every multicast for a 4-8 member
+  class pays fan-out 12;
+* LWG counts per class follow a Zipf-ish 1/rank split with the
+  *sub-window* classes ranked first, so the misplaced classes carry
+  most of the load (the skew reported for real group systems).
+
+The optimizer's cost model charges that slack fan-out directly, so it
+peels every sub-window class onto a right-sized HWG (union 4-6),
+roughly halving steady-state fan-out *and* the membership each
+crash/recovery flush has to walk.  ``benchmarks/bench_policies.py``
+asserts both ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.config import LwgConfig
+from ..sim.engine import MS, SECOND
+from ..vsync.stack import VsyncConfig
+from .cluster import Cluster
+from .traffic import ProbeHub, ProbeListener, probe_payload
+
+#: Processes per zone.  12 keeps every sub-window (4 or 6 wide) above
+#: the ``k_m = 4`` minority threshold on the zone HWG, which is the
+#: whole point: the paper rules must be *stuck with* the
+#: one-HWG-per-zone mapping.
+ZONE_SIZE = 12
+
+#: (offset, width) of each membership class inside a zone, in Zipf rank
+#: order: sub-classes first (they carry the load), the dominant
+#: zone-spanning class last.  Every class starts at offset 0, so the
+#: whole zone shares one coordinator and an escaped sub-class HWG
+#: always share-collapses back onto the zone HWG.
+_ZONE_LAYOUT = ((0, 6), (0, 5), (0, 4), (0, 7), (0, 8), (0, 12))
+
+
+@dataclass(frozen=True)
+class MembershipClass:
+    """One membership class: ``count`` LWGs over the same member set."""
+
+    index: int
+    zone: int
+    members: Tuple[str, ...]
+    count: int
+
+    @property
+    def creator(self) -> str:
+        return self.members[0]
+
+    def group_name(self, j: int) -> str:
+        return f"c{self.index:02d}g{j:03d}"
+
+    @property
+    def group_names(self) -> List[str]:
+        return [self.group_name(j) for j in range(self.count)]
+
+
+def zipf_classes(
+    zones: int = 2,
+    num_lwgs: int = 120,
+) -> List[MembershipClass]:
+    """The scenario's membership classes with 1/rank LWG counts.
+
+    Classes are laid out per zone from :data:`_ZONE_LAYOUT`; each
+    zone's share of ``num_lwgs`` is apportioned over its classes by
+    Zipf weight in layout order, largest-remainder, minimum one LWG per
+    class — so the zones mirror each other and the misplaced sub-window
+    classes carry most of the load.
+    """
+    per_zone_layout: List[Tuple[int, ...]] = [
+        tuple(range(offset, offset + width)) for offset, width in _ZONE_LAYOUT
+    ]
+    weights = [1.0 / (rank + 1) for rank in range(len(per_zone_layout))]
+    total_weight = sum(weights)
+    zone_share = num_lwgs // zones
+    counts = [max(1, int(zone_share * w / total_weight)) for w in weights]
+    shortfall = zone_share - sum(counts)
+    for rank in range(len(counts)):
+        if shortfall <= 0:
+            break
+        counts[rank] += 1
+        shortfall -= 1
+    classes: List[MembershipClass] = []
+    for zone in range(zones):
+        base = zone * ZONE_SIZE
+        for rank, offsets in enumerate(per_zone_layout):
+            classes.append(
+                MembershipClass(
+                    index=len(classes),
+                    zone=zone,
+                    members=tuple(f"p{base + i}" for i in offsets),
+                    count=counts[rank],
+                )
+            )
+    return classes
+
+
+# ----------------------------------------------------------------------
+# Fabric metering
+# ----------------------------------------------------------------------
+
+#: Message types that are merge/flush machinery: the vsync flush
+#: protocol (Stop .. InstallView), partition-merge discovery and
+#: branch reconciliation, and the LWG announce/merge control messages.
+#: Everything else (data, heartbeats, naming) is excluded.
+_FLUSH_MERGE_TYPES = frozenset(
+    {
+        "Stop",
+        "FlushState",
+        "FlushFill",
+        "FlushDone",
+        "InstallView",
+        "MergeRequest",
+        "MergeDecline",
+        "BranchFlushed",
+        "MergeViewsMsg",
+        "AllViewsMsg",
+        "LwgViewMsg",
+    }
+)
+
+
+def classify_flush_payload(payload: Any, max_depth: int = 5) -> Optional[str]:
+    """The merge/flush/heartbeat message type carried by ``payload``.
+
+    Control messages are never batched (the packer flushes before every
+    ``hwg_send`` of an LWG control message), so unwrapping the nested
+    ``payload`` attributes — transport segment, then total-order wrapper,
+    then the LWG message — is enough to see the real type.
+    """
+    for _ in range(max_depth):
+        if payload is None:
+            return None
+        name = type(payload).__name__
+        if name in _FLUSH_MERGE_TYPES or name == "Heartbeat":
+            return name
+        payload = getattr(payload, "payload", None)
+    return None
+
+
+class FabricMeter:
+    """Counts merge/flush and heartbeat deliveries on a cluster's fabric.
+
+    Wraps ``Network._deliver`` (the single funnel every scheduled
+    delivery fires through), classifies each payload and forwards it
+    untouched.  Counts include deliveries dropped at fire time by a
+    concurrent crash/partition — a flush message the fabric carried is
+    work regardless of whether the receiver was still there.
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.flush_messages = 0
+        self.flush_bytes = 0
+        self.heartbeats = 0
+        self.by_type: Dict[str, int] = {}
+        network = cluster.env.network
+        inner = network._deliver
+
+        def metered(src: str, dst: str, payload: Any, size: int) -> None:
+            kind = classify_flush_payload(payload)
+            if kind == "Heartbeat":
+                self.heartbeats += 1
+            elif kind is not None:
+                self.flush_messages += 1
+                self.flush_bytes += size
+                self.by_type[kind] = self.by_type.get(kind, 0) + 1
+            inner(src, dst, payload, size)
+
+        network._deliver = metered  # type: ignore[method-assign]
+
+    def snapshot(self) -> int:
+        return self.flush_messages
+
+
+# ----------------------------------------------------------------------
+# The scenario
+# ----------------------------------------------------------------------
+@dataclass
+class PlacementSetup:
+    """A converged high-group-count scenario."""
+
+    cluster: Cluster
+    classes: List[MembershipClass]
+    placement: str
+    handles: Dict[Tuple[str, str], Any]
+    probes: Dict[Tuple[str, str], ProbeListener]
+    hub: ProbeHub
+    meter: FabricMeter
+
+    @property
+    def num_lwgs(self) -> int:
+        return sum(c.count for c in self.classes)
+
+    def converged(self) -> bool:
+        """Every member of every LWG sees the full membership.
+
+        Checked from *all* member handles, not just the creator's: a
+        member whose handle still shows a stale sub-view would silently
+        miss multicasts, which would flatter whatever placement it
+        happened under.
+        """
+        for cls in self.classes:
+            want = set(cls.members)
+            for group in cls.group_names:
+                for node in cls.members:
+                    handle = self.handles.get((group, node))
+                    if handle is None:
+                        return False
+                    view = handle.view
+                    if view is None or set(view.members) != want:
+                        return False
+        return True
+
+    def hwgs_in_use(self) -> set:
+        return {handle.hwg for handle in self.handles.values()}
+
+    def max_hwg_size(self) -> int:
+        """Largest HWG membership seen from any live endpoint."""
+        largest = 0
+        for node in self.cluster.process_ids:
+            try:
+                stack = self.cluster.stack(node)
+            except KeyError:
+                continue
+            for endpoint in getattr(stack, "endpoints", {}).values():
+                view = getattr(endpoint, "current_view", None)
+                if view is not None:
+                    largest = max(largest, len(view.members))
+        return largest
+
+
+def _placement_lwg_config(placement: str) -> LwgConfig:
+    """Scenario timers: fast policies, rebalance-after-load switching.
+
+    ``placement_settle_us`` is raised far past the default so the
+    optimizer does not start moving groups until the join waves are
+    over: every switch strands an HWG remnant the merge machinery must
+    heal, and on the shared 10 Mb/s medium a heal storm concurrent with
+    the bulk-load joins congests the wire past the merge timeouts (the
+    classic "don't rebalance during bulk load" rule).  Moves then drain
+    in bounded batches per policy period on an otherwise quiet wire.
+
+    ``coordinator_silence_us`` is raised because during the drain the
+    wire carries dozens of concurrent switch/merge flushes and LWG
+    announcements easily lag past the 6 s default — and a premature
+    forced-out rejoin feeds the very churn that delayed the announce
+    (each rejoin is another naming round plus an HWG view change).
+    The backstop still fires, just calibrated to drain-storm latencies.
+    """
+    config = LwgConfig(placement_policy=placement, placement_max_switches=8)
+    config.policy_period_us = 2 * SECOND
+    config.shrink_grace_us = 1 * SECOND
+    config.placement_settle_us = 20 * SECOND
+    config.coordinator_silence_us = 15 * SECOND
+    return config
+
+
+def _placement_vsync_config(placement: str) -> VsyncConfig:
+    """Vsync substrate config for the scenario.
+
+    The optimizer's switch churn shatters HWGs into many concurrently
+    healing views; the merge machinery needs the mass-heal hardening to
+    reconverge from that (see :class:`VsyncConfig`).  The paper rules
+    never split an established HWG, so they run the validated baseline
+    substrate — the same pairing production would use, and the same one
+    every other benchmark and the frozen fuzz corpus measure.
+    """
+    return VsyncConfig(heal_hardening=(placement == "optimizer"))
+
+
+def build_placement_scenario(
+    placement: str,
+    num_lwgs: int = 120,
+    zones: int = 2,
+    seed: int = 0,
+    settle_seconds: Optional[float] = None,
+) -> PlacementSetup:
+    """Build and converge the scenario under the given placement policy.
+
+    Classes are joined window by window (both zones in parallel): the
+    creator first, then the remaining members.  The exact interleaving
+    with policy evaluations does not matter — under the paper rules the
+    share-rule collapse merges each zone onto one HWG from any
+    intermediate state.
+    """
+    classes = zipf_classes(zones=zones, num_lwgs=num_lwgs)
+    cluster = Cluster(
+        num_processes=zones * ZONE_SIZE,
+        seed=seed,
+        lwg_config=_placement_lwg_config(placement),
+        vsync_config=_placement_vsync_config(placement),
+        keep_trace=False,
+    )
+    meter = FabricMeter(cluster)
+    hub = ProbeHub(env=cluster.env)
+    handles: Dict[Tuple[str, str], Any] = {}
+    probes: Dict[Tuple[str, str], ProbeListener] = {}
+
+    def join(group: str, node: str) -> None:
+        probe = ProbeListener(hub, node)
+        probes[(group, node)] = probe
+        handles[(group, node)] = cluster.services[node].join(group, probe)
+
+    classes_per_zone = len(classes) // zones
+    # The dominant zone-spanning class (last in the layout) is built
+    # first, so every sub-window creator is already a member of the
+    # zone HWG when its classes appear.
+    wave_order = [classes_per_zone - 1] + list(range(classes_per_zone - 1))
+    # Bulk-load pacing: each LWG's join burst is one naming round trip
+    # plus a fan-in of LwgJoinReq/state-transfer traffic, all on the
+    # shared 10 Mb/s medium.  Past ~40 LWGs the 60 ms stride floods the
+    # wire faster than it drains, installs trail their beacons by
+    # seconds and the substrate starts seceding members it was about to
+    # admit — so the stride widens linearly with the group count.
+    stride_us = int(60 * MS * max(1.0, num_lwgs / 48.0))
+    for wave in wave_order:
+        batch = [cls for cls in classes if cls.index % classes_per_zone == wave]
+        span = 0
+        for cls in batch:
+            for j, group in enumerate(cls.group_names):
+                # Tight join bursts: the creator gets a short head start
+                # (the naming record must exist), then the remaining
+                # members pile in — the class spends as little time as
+                # possible in a transient-minority state.
+                base = j * stride_us
+                cluster.env.scheduler.schedule(
+                    base, lambda g=group, n=cls.creator: join(g, n)
+                )
+                for i, node in enumerate(cls.members[1:]):
+                    cluster.env.scheduler.schedule(
+                        base + 100 * MS + (i + 1) * 15 * MS,
+                        lambda g=group, n=node: join(g, n),
+                    )
+            span = max(span, cls.count * stride_us + 400 * MS)
+        cluster.run_for(span + 1500 * MS)
+
+    setup = PlacementSetup(
+        cluster=cluster, classes=classes, placement=placement,
+        handles=handles, probes=probes, hub=hub, meter=meter,
+    )
+    timeout = int((20.0 + 0.2 * num_lwgs) * SECOND)
+    if not cluster.run_until(setup.converged, timeout_us=timeout):
+        laggards = []
+        for cls in classes:
+            want = set(cls.members)
+            for group in cls.group_names:
+                for node in cls.members:
+                    handle = handles.get((group, node))
+                    view = handle.view if handle is not None else None
+                    got = sorted(view.members) if view is not None else None
+                    if got is None or set(got) != want:
+                        laggards.append(f"{group}@{node}: {got}")
+        raise RuntimeError(
+            f"placement scenario ({placement}, {num_lwgs} LWGs) failed to "
+            f"converge; {len(laggards)} laggard(s), first: {laggards[:4]}"
+        )
+    # Let the placement policy reach its fixed point: the optimizer's
+    # first moves wait out placement_settle_us, then the backlog (one
+    # move per misplaced LWG) drains a rate-limited batch per policy
+    # period — so the window scales with the group count.
+    if settle_seconds is None:
+        settle_seconds = 30.0 + 0.4 * num_lwgs
+    cluster.run_for_seconds(settle_seconds)
+    # The drain itself strands HWG remnants that need healing; require
+    # the system to be whole again before anyone measures on it.
+    if not cluster.run_until(setup.converged, timeout_us=timeout):
+        raise RuntimeError(
+            f"placement scenario ({placement}, {num_lwgs} LWGs) degraded "
+            f"while draining placement moves"
+        )
+    return setup
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+@dataclass
+class PlacementMetrics:
+    """Traffic attributable to one placement, over identical phases."""
+
+    #: Fabric deliveries during the paced data phase, excluding FD
+    #: heartbeats: app multicasts plus all placement-dependent control
+    #: (announces, view machinery).  Heartbeats are excluded because the
+    #: dominant zone class pins the FD peer graph to the full zone under
+    #: *both* placements — a constant-rate background that would only
+    #: dilute the comparison.
+    data_messages: int
+    data_heartbeats: int
+    data_seconds: float
+    #: Merge/flush control deliveries during the churn phase.
+    flush_messages: int
+    flush_by_type: Dict[str, int] = field(default_factory=dict)
+    hwg_count: int = 0
+    max_hwg_size: int = 0
+
+
+def measure_placement(
+    setup: PlacementSetup,
+    rounds: int = 3,
+    churn_cycles: Tuple[str, ...] = ("p1", f"p{ZONE_SIZE + 1}"),
+) -> PlacementMetrics:
+    """Run the paced data phase, then the crash/recover churn phase.
+
+    Both phases advance simulated time by amounts that depend only on
+    the scenario shape, so two setups that differ *only* in placement
+    are compared over identical windows.
+
+    The churn victims default to the second process of each zone: a
+    member of the zone's first wide and first narrow window but the
+    coordinator of nothing, so the flush/rejoin traffic — not
+    coordinator succession — dominates the phase.
+    """
+    cluster = setup.cluster
+    network = cluster.env.network
+
+    # --- data phase: every LWG's creator multicasts, paced. -----------
+    gap = 10 * MS
+    sends: List[Tuple[str, str]] = [
+        (group, cls.creator)
+        for cls in setup.classes
+        for group in cls.group_names
+    ]
+    data_start = cluster.env.now
+    base_delivered = network.messages_delivered
+    base_heartbeats = setup.meter.heartbeats
+    for round_no in range(rounds):
+        for index, (group, sender) in enumerate(sends):
+            delay = (round_no * len(sends) + index) * gap
+            handle = setup.handles[(group, sender)]
+            cluster.env.scheduler.schedule(
+                delay,
+                lambda h=handle, r=round_no: h.send(probe_payload(cluster.env, r)),
+            )
+    cluster.run_for(rounds * len(sends) * gap + 2 * SECOND)
+    data_heartbeats = setup.meter.heartbeats - base_heartbeats
+    data_messages = (
+        network.messages_delivered - base_delivered - data_heartbeats
+    )
+    data_seconds = (cluster.env.now - data_start) / SECOND
+
+    # --- churn phase: crash + recover + rejoin, one victim per zone. --
+    base_flush = setup.meter.snapshot()
+    base_by_type = dict(setup.meter.by_type)
+    for victim in churn_cycles:
+        rejoin = [
+            (group, cls)
+            for cls in setup.classes
+            if victim in cls.members
+            for group in cls.group_names
+        ]
+        cluster.crash(victim)
+        cluster.run_for_seconds(4)
+        cluster.recover(victim)
+        for group, cls in rejoin:
+            probe = ProbeListener(setup.hub, victim)
+            setup.probes[(group, victim)] = probe
+            setup.handles[(group, victim)] = cluster.services[victim].join(
+                group, probe
+            )
+        cluster.run_for_seconds(8)
+    flush_messages = setup.meter.snapshot() - base_flush
+    flush_by_type = {
+        kind: count - base_by_type.get(kind, 0)
+        for kind, count in setup.meter.by_type.items()
+        if count - base_by_type.get(kind, 0) > 0
+    }
+
+    return PlacementMetrics(
+        data_messages=data_messages,
+        data_heartbeats=data_heartbeats,
+        data_seconds=data_seconds,
+        flush_messages=flush_messages,
+        flush_by_type=flush_by_type,
+        hwg_count=len(setup.hwgs_in_use()),
+        max_hwg_size=setup.max_hwg_size(),
+    )

@@ -3,6 +3,7 @@
 from repro.sim import SimEnv
 from repro.vsync.flush import FlushParticipant
 from repro.vsync.membership import EndpointState, ViewChangeManager
+from repro.vsync.stack import VsyncConfig
 from repro.vsync.messages import (
     InstallView,
     LeaveRequest,
@@ -25,6 +26,7 @@ class FakeFd:
 class FakeStack:
     def __init__(self):
         self.seq = 100
+        self.config = VsyncConfig()
 
     def next_view_seq(self):
         self.seq += 1
