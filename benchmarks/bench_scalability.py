@@ -1,19 +1,24 @@
-"""Scalability, axis 1 of 2: how many LWGs can one HWG carry?
+"""Scalability: how many LWGs can one HWG carry, and how many nodes
+can one deployment carry?
 
-The repo's scalability story now has two independent axes:
+The repo's scalability story now has three independent axes:
 
 * **group axis** (this file) — LWGs multiplexed onto one HWG.  The
   service's whole premise is that co-mapping is cheap, so each
   additional group must cost ~nothing in join latency and background
   traffic;
+* **node axis** (this file) — simulated nodes in one deployment, flat
+  vs zoned membership (PROTOCOLS.md §20).  Flat failure detection is
+  O(n²) datagrams/period and O(n) tracked peers; the zoned gossip
+  substrate must cut both enough to make n=1024 affordable;
 * **naming-roster axis** (``bench_shard_scaleout.py``) — name servers
   added to a sharded deployment (PROTOCOLS.md §18).  Per-server naming
   load must *fall* as the roster grows, not replicate.
 
-A regression on one axis says nothing about the other — the shape
-checks below are labelled ``group axis`` so CI failures name the right
-one.  This bench sweeps the number of LWGs multiplexed onto a single
-4-member HWG and measures what each additional group costs:
+A regression on one axis says nothing about the others — the shape
+checks below are labelled per axis so CI failures name the right
+one.  The group-axis bench sweeps the number of LWGs multiplexed onto
+a single 4-member HWG and measures what each additional group costs:
 
 * join latency for the k-th group (naming round-trip + one ordered view
   message — must stay flat);
@@ -132,6 +137,90 @@ def test_lwgs_per_hwg_scaling(benchmark):
             f"group axis: delivery latency bounded "
             f"({latency_ms[0]:.2f} -> {latency_ms[-1]:.2f}ms)",
             latency_ms[-1] < 20,
+        ),
+    ]
+    print("\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks)
+
+
+# ----------------------------------------------------------------------
+# Node axis: flat vs zoned membership at 64/256/1024 nodes (§20)
+# ----------------------------------------------------------------------
+N_VALUES = (64, 256, 1024)
+N_ZONES = {64: 4, 256: 4, 1024: 8}
+
+
+def run_node_scaling():
+    from repro.workloads.scale import fd_census, fd_dynamics
+
+    flat_dgrams, zoned_dgrams = [], []
+    flat_tracked, zoned_tracked = [], []
+    for n in N_VALUES:
+        flat = fd_census(SEED, n, "flat")
+        zoned = fd_census(SEED, n, "zoned", N_ZONES[n])
+        flat_dgrams.append(flat["datagrams_per_period"])
+        zoned_dgrams.append(zoned["datagrams_per_period"])
+        flat_tracked.append(flat["tracked_peers_max"])
+        zoned_tracked.append(zoned["tracked_peers_max"])
+    # Heal dynamics on the real fabric.  Flat stops at n=64: its O(n²)
+    # datagram load is the wall this axis exists to demonstrate (the
+    # n=256 census already prices it at 65k datagrams per 100ms).
+    heal_ms = {
+        "flat-64": fd_dynamics(SEED, 64, "flat"),
+        "zoned-64": fd_dynamics(SEED, 64, "zoned", 4),
+        "zoned-256": fd_dynamics(SEED, 256, "zoned", 4),
+    }
+    heal_ms = {
+        key: outcome["heal_convergence_us"] / 1000
+        for key, outcome in heal_ms.items()
+    }
+    return flat_dgrams, zoned_dgrams, flat_tracked, zoned_tracked, heal_ms
+
+
+def test_membership_node_scaling(benchmark):
+    flat_dgrams, zoned_dgrams, flat_tracked, zoned_tracked, heal_ms = (
+        benchmark.pedantic(run_node_scaling, rounds=1, iterations=1)
+    )
+    ratios = [z / f for z, f in zip(zoned_dgrams, flat_dgrams)]
+    print(
+        series_table(
+            "Scalability — flat vs zoned membership, n nodes",
+            "n",
+            list(N_VALUES),
+            {
+                "flat FD datagrams/period": flat_dgrams,
+                "zoned FD datagrams/period": zoned_dgrams,
+                "zoned/flat ratio": ratios,
+                "flat tracked peers (max)": flat_tracked,
+                "zoned tracked peers (max)": zoned_tracked,
+            },
+            note="zoned heal convergence: "
+            + ", ".join(f"{k}={v:.0f}ms" for k, v in heal_ms.items()),
+        )
+    )
+    checks = [
+        shape_check(
+            f"node axis: zoned <= 0.25x flat FD datagrams at n=256 "
+            f"(ratio {ratios[1]:.3f})",
+            ratios[1] <= 0.25,
+        ),
+        shape_check(
+            f"node axis: flat FD volume is the O(n²) wall "
+            f"({flat_dgrams[0]} -> {flat_dgrams[-1]}/period), zoned stays "
+            f"sub-quadratic ({zoned_dgrams[0]} -> {zoned_dgrams[-1]}/period)",
+            flat_dgrams[-1] >= 200 * flat_dgrams[0]
+            and zoned_dgrams[-1] <= 40 * zoned_dgrams[0],
+        ),
+        shape_check(
+            f"node axis: zoned tracked-peer state is zone-local, not global "
+            f"({zoned_tracked[-1]} of {N_VALUES[-1] - 1} peers at n=1024)",
+            zoned_tracked[-1] <= N_VALUES[-1] // 4
+            and flat_tracked[-1] == N_VALUES[-1] - 1,
+        ),
+        shape_check(
+            "node axis: partition heal re-converges within 2s "
+            + ", ".join(f"{k}={v:.0f}ms" for k, v in heal_ms.items()),
+            all(0 < v <= 2000 for v in heal_ms.values()),
         ),
     ]
     print("\n".join(checks))

@@ -751,3 +751,99 @@ def bench_policy_eval_scale(seed: int) -> Tuple[int, Dict[str, Any]]:
         "paper_actions_per_eval": counts["paper"] // POLICY_EVALS,
         "optimizer_actions_per_eval": counts["optimizer"] // POLICY_EVALS,
     }
+
+
+# ----------------------------------------------------------------------
+# Membership scale: flat vs zoned failure detection (PROTOCOLS.md §20)
+# ----------------------------------------------------------------------
+FD_SCALE_SWEEP = (64, 256, 1024)
+FD_SCALE_ZONES = {64: 4, 256: 4, 1024: 8}
+FD_SCALE_STEADY_N = 256
+FD_SCALE_HEAL_N = 64
+
+
+def _fd_rounds(population) -> int:
+    """FD rounds actually driven across the population."""
+    return sum(fd.heartbeats_sent for fd in population.detectors.values())
+
+
+def _fd_steady(seed: int, n: int, topology: str, zones: int):
+    """Wall-time one steady-state stretch of the dynamics population.
+
+    Both topologies simulate the identical population for the identical
+    sim duration, so rounds/wall-second is the substrate's CPU price at
+    that scale — the 'steady-state events/sec' figure of the node-axis
+    sweep.
+    """
+    from ..workloads.scale import _Population
+
+    population = _Population(seed, n, topology, zones)
+    start = time.perf_counter()
+    population.run_for(2 * SECOND)
+    wall = time.perf_counter() - start
+    rounds = _fd_rounds(population)
+    return rounds, wall, population
+
+
+@_register(
+    "membership.fd_scale",
+    fast=True,
+    description="flat vs zoned failure detection at 64/256/1024 nodes",
+)
+def bench_membership_fd_scale(seed: int) -> Tuple[int, Dict[str, Any]]:
+    """The zoned-membership scale story, gated on its acceptance bounds.
+
+    Census (networkless) prices FD datagrams/period and tracked-peer
+    state across the sweep; the steady-state run prices CPU per FD round
+    at n=256; the heal run measures partition-heal convergence at n=64.
+    Asserts the PR's acceptance criteria: zoned ≤0.25x flat FD message
+    volume at n=256, zoned ≥0.9x flat steady-state events/sec, and both
+    topologies re-converging after a heal.
+    """
+    from ..workloads.scale import fd_census, fd_dynamics
+
+    census: Dict[str, Any] = {}
+    for n in FD_SCALE_SWEEP:
+        flat = fd_census(seed, n, "flat")
+        zoned = fd_census(seed, n, "zoned", FD_SCALE_ZONES[n])
+        census[n] = {
+            "ratio": zoned["datagrams_per_period"] / flat["datagrams_per_period"],
+            "flat": flat,
+            "zoned": zoned,
+        }
+    ratio_256 = census[FD_SCALE_STEADY_N]["ratio"]
+    assert ratio_256 <= 0.25, f"zoned/flat FD datagram ratio {ratio_256:.3f} > 0.25"
+
+    flat_rounds, flat_wall, _ = _fd_steady(
+        seed, FD_SCALE_STEADY_N, "flat", 0
+    )
+    zoned_rounds, zoned_wall, _ = _fd_steady(
+        seed, FD_SCALE_STEADY_N, "zoned", FD_SCALE_ZONES[FD_SCALE_STEADY_N]
+    )
+    steady_ratio = (zoned_rounds / zoned_wall) / (flat_rounds / flat_wall)
+    assert steady_ratio >= 0.9, (
+        f"zoned steady-state events/sec {steady_ratio:.3f}x flat < 0.9x"
+    )
+
+    heal = {
+        topology: fd_dynamics(
+            seed, FD_SCALE_HEAL_N, topology, FD_SCALE_ZONES[FD_SCALE_HEAL_N]
+        )
+        for topology in ("flat", "zoned")
+    }
+    for topology, outcome in heal.items():
+        assert outcome["heal_convergence_us"] > 0, f"{topology} heal never converged"
+
+    events = flat_rounds + zoned_rounds
+    return events, {
+        "fd_datagram_ratio_64": round(census[64]["ratio"], 4),
+        "fd_datagram_ratio_256": round(ratio_256, 4),
+        "fd_datagram_ratio_1024": round(census[1024]["ratio"], 4),
+        "flat_datagrams_per_period_256": census[256]["flat"]["datagrams_per_period"],
+        "zoned_datagrams_per_period_256": census[256]["zoned"]["datagrams_per_period"],
+        "flat_tracked_peers_1024": census[1024]["flat"]["tracked_peers_max"],
+        "zoned_tracked_peers_1024": census[1024]["zoned"]["tracked_peers_max"],
+        "steady_events_per_sec_ratio_256": round(steady_ratio, 3),
+        "flat_heal_convergence_us_64": heal["flat"]["heal_convergence_us"],
+        "zoned_heal_convergence_us_64": heal["zoned"]["heal_convergence_us"],
+    }

@@ -15,6 +15,7 @@ from .lwg import (
 from .naming import GenealogyGcChecker, NamingConvergenceChecker
 from .recovery import RecoveryConvergenceChecker
 from .vsync import DeliveryChecker, ViewAgreementChecker
+from .zones import ZoneScopeChecker
 
 __all__ = [
     "Checker",
@@ -29,4 +30,5 @@ __all__ = [
     "GenealogyGcChecker",
     "NamingConvergenceChecker",
     "RecoveryConvergenceChecker",
+    "ZoneScopeChecker",
 ]

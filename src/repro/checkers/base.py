@@ -112,6 +112,7 @@ class CheckerSuite:
         from .naming import GenealogyGcChecker, NamingConvergenceChecker
         from .recovery import RecoveryConvergenceChecker
         from .vsync import DeliveryChecker, ViewAgreementChecker
+        from .zones import ZoneScopeChecker
 
         suite = cls(raise_immediately=raise_immediately)
         suite.add(ViewAgreementChecker())
@@ -123,6 +124,7 @@ class CheckerSuite:
         suite.add(NamingConvergenceChecker())
         suite.add(LwgConvergenceChecker())
         suite.add(RecoveryConvergenceChecker())
+        suite.add(ZoneScopeChecker())
         return suite
 
     def add(self, checker: Checker) -> Checker:

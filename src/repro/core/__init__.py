@@ -19,7 +19,15 @@ from .baselines import (
     make_static_service,
 )
 from .config import LwgConfig
-from .ids import highest_gid, is_hwg_id, is_lwg_id, lwg_id, mint_hwg_id
+from .ids import (
+    highest_gid,
+    hwg_in_zone,
+    hwg_zone,
+    is_hwg_id,
+    is_lwg_id,
+    lwg_id,
+    mint_hwg_id,
+)
 from .lwg_view import merge_lwg_views, merged_view_id, restrict_view
 from .mapping_policy import (
     DynamicMappingPolicy,
@@ -57,6 +65,8 @@ __all__ = [
     "make_static_service",
     "LwgConfig",
     "highest_gid",
+    "hwg_in_zone",
+    "hwg_zone",
     "is_hwg_id",
     "is_lwg_id",
     "lwg_id",

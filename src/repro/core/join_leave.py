@@ -180,12 +180,36 @@ class JoinDriver:
 
     def _claim_or_retry(self) -> None:
         directory = self.svc.table.dir_for(self.target_hwg)
-        if self.lwg in directory.views:
+        recorded = directory.views.get(self.lwg)
+        if recorded is not None and self._has_admitter(recorded):
             # The LWG is alive here; the coordinator just hasn't admitted
             # us yet (e.g. mid-switch).  Ask again.
             self._send_join_request()
+        elif recorded is not None:
+            # The directory still records a view for the LWG, but none of
+            # its members — other than ourselves — is in the HWG anymore:
+            # nobody here can answer the join request, so resending loops
+            # forever.  (Reachable when every other member crash-recovers
+            # with a clean slate while we were forced out: the stale view
+            # lists *us*, so member-pruning keeps it alive.)  Restart from
+            # naming; repeated futile rounds bury the dead record and let
+            # our claim through.
+            self.svc.trace(
+                "lwg_join_dead_directory", lwg=self.lwg, hwg=self.target_hwg
+            )
+            self._read_naming()
         else:
             self._claim()
+
+    def _has_admitter(self, recorded: View) -> bool:
+        """True while the recorded LWG view keeps a member other than us
+        inside the target HWG's current view — someone who could still
+        admit us.  Unknown HWG state counts as "keep asking"."""
+        endpoint = self.svc.hwg_endpoint(self.target_hwg)
+        if endpoint is None or endpoint.current_view is None:
+            return True
+        here = set(endpoint.current_view.members)
+        return any(m != self.svc.node and m in here for m in recorded.members)
 
     # ------------------------------------------------------------------
     # Step 4: create (or re-create) the LWG on the target HWG

@@ -93,6 +93,16 @@ class PolicySnapshot:
     hwg_pinned: Dict[HwgId, Tuple[Tuple[LwgId, Members], ...]] = field(
         default_factory=dict
     )
+    #: Zoned topology (PROTOCOLS.md §20): the evaluating node's zone.
+    #: Switch targets are restricted to zone-local pools; None (flat)
+    #: accepts every HWG.
+    zone: Optional[int] = None
+
+    def pool_usable(self, hwg: HwgId) -> bool:
+        """Is ``hwg`` a legal switch/co-map target from our zone?"""
+        from .ids import hwg_in_zone
+
+        return hwg_in_zone(hwg, self.zone)
 
     # Derived data shared by the rule passes (each pass used to redo the
     # sort/scan itself).  ``cached_property`` stores into the instance
@@ -195,7 +205,7 @@ class PolicyEngine:
         shrink rule then drains the empty HWGs.
         """
         actions: List[PolicyAction] = []
-        hwgs = snap.populated_hwgs
+        hwgs = tuple(h for h in snap.populated_hwgs if snap.pool_usable(h))
         parent: Dict[HwgId, HwgId] = {h: h for h in hwgs}
 
         def find(h: HwgId) -> HwgId:
@@ -245,6 +255,7 @@ class PolicyEngine:
                 hwg
                 for hwg, hmembers in snap.hwg_items
                 if hwg != underlying
+                and snap.pool_usable(hwg)
                 and is_close_enough(members, hmembers, self.config.k_c)
             ]
             switched.add(lwg)

@@ -126,7 +126,9 @@ class ScheduleRunner:
             replication_factor=schedule.replication_factor or None,
             lwg_config=_scaled_config(schedule.placement),
             vsync_config=VsyncConfig(
-                heal_hardening=(schedule.placement == "optimizer")
+                heal_hardening=(schedule.placement == "optimizer"),
+                topology=schedule.topology,
+                num_zones=schedule.zones or 4,
             ),
             keep_trace=False,
         )
@@ -160,6 +162,8 @@ class ScheduleRunner:
             self._crash_recover(step.node, step.down_us)
         elif kind == "corrupt_state":
             self._corrupt_state(step.node, step.mode, step.down_us)
+        elif kind == "relay_crash":
+            self._relay_crash(step.zone)
         # "settle" applies nothing; the post-step delay does the work.
 
     def _join(self, node: str, group: str) -> None:
@@ -245,6 +249,23 @@ class ScheduleRunner:
         self.cluster.crash(node)
         self.cluster.run_for(down_us or DEFAULT_DOWN_US)
         self.cluster.recover(node)
+
+    def _relay_crash(self, zone: int) -> None:
+        """Fail-stop a zone's primary relay as elected *right now*.
+
+        The target is resolved at apply time, so the step always hits a
+        relay even after earlier crashes shifted the election — the
+        fail-over path is what it exists to exercise.  Deterministic
+        no-op on flat schedules or empty zones, so the shrinker can
+        delete surrounding steps freely.
+        """
+        directory = self.cluster.zone_directory
+        if directory is None:
+            return
+        relay = directory.primary_relay(zone)
+        if relay is None:
+            return
+        self._crash(relay)
 
     def _partition(self, blocks: Tuple[Tuple[str, ...], ...]) -> None:
         known = set(self.cluster.process_ids) | set(self.cluster.name_server_ids)

@@ -11,7 +11,8 @@ acks, the naming anti-entropy descent — ``SyncRequest`` /
 ``SyncReply`` with their nested digest maps and mapping records — and
 the naming hot path proper: client RPC ``NsRequest``/``NsResponse``
 (including the §18 ``forwarded`` relay bit) and eager ``PushUpdate``
-propagation) and keeps pickle as the fallback for the long tail of
+propagation, plus the zoned topology's per-round gossip
+``LivenessDigest``) and keeps pickle as the fallback for the long tail of
 control messages, which are rare enough that convenience wins.
 
 Framing (network byte order throughout)::
@@ -36,7 +37,7 @@ from typing import Any, Callable, Dict, List, Tuple
 from ..core.messages import LwgBatch, LwgData
 from ..naming.messages import NsRequest, NsResponse, PushUpdate, SyncReply, SyncRequest
 from ..naming.records import MappingRecord
-from ..vsync.messages import Ordered, Publish, StabilityAck
+from ..vsync.messages import LivenessDigest, Ordered, Publish, StabilityAck
 from ..vsync.view import ViewId
 from .interfaces import NodeId
 
@@ -64,6 +65,7 @@ _SYNC_REPLY = 0x17
 _NS_REQUEST = 0x18
 _NS_RESPONSE = 0x19
 _PUSH_UPDATE = 0x1A
+_LIVENESS_DIGEST = 0x1B
 _PICKLE = 0x7F
 
 _I64_MIN = -(1 << 63)
@@ -204,6 +206,20 @@ def _w_value(out: List[bytes], value: Any) -> None:
         for record in value.records:
             _w_mapping_record_body(out, record)
         _w_value(out, value.genealogy)
+    elif kind is LivenessDigest:
+        # The highest-rate zoned-topology message: one digest per gossip
+        # round per node, fanout-multicast.  Rows are fixed-shape
+        # (peer, incarnation, counter, suspect) quads.
+        out.append(bytes((_LIVENESS_DIGEST,)))
+        _w_str(out, value.group)
+        _w_str(out, value.sender)
+        out.append(_I64.pack(value.round_no))
+        out.append(_U32.pack(len(value.entries)))
+        for peer, incarnation, counter, suspect in value.entries:
+            _w_str(out, peer)
+            out.append(_I64.pack(incarnation))
+            out.append(_I64.pack(counter))
+            out.append(bytes((_TRUE if suspect else _FALSE,)))
     elif kind is LwgData:
         out.append(bytes((_LWG_DATA,)))
         _w_lwg_data_body(out, value)
@@ -433,6 +449,25 @@ def _r_value(data: bytes, offset: int) -> Tuple[Any, int]:
             PushUpdate(
                 sender=sender, records=tuple(push_records),
                 genealogy=genealogy,
+            ),
+            offset,
+        )
+    if tag == _LIVENESS_DIGEST:
+        group, offset = _r_str(data, offset)
+        sender, offset = _r_str(data, offset)
+        round_no, offset = _r_i64(data, offset)
+        count, offset = _r_u32(data, offset)
+        rows: List[Tuple[str, int, int, bool]] = []
+        for _ in range(count):
+            peer, offset = _r_str(data, offset)
+            incarnation, offset = _r_i64(data, offset)
+            counter, offset = _r_i64(data, offset)
+            suspect, offset = _r_value(data, offset)
+            rows.append((peer, incarnation, counter, suspect))
+        return (
+            LivenessDigest(
+                group=group, sender=sender, round_no=round_no,
+                entries=tuple(rows),
             ),
             offset,
         )

@@ -127,6 +127,11 @@ class Network:
         self.messages_dropped = 0
         self.deliveries_scheduled = 0
         self.bytes_sent = 0
+        # Fan-out memo effectiveness: a gossip detector that defeats the
+        # sorted-destination memo (fresh random target set every round)
+        # shows up as a miss-heavy ratio in bench snapshots.
+        self.fanout_memo_hits = 0
+        self.fanout_memo_misses = 0
         # Hot-path caches (see docs/PERFORMANCE.md).  The sorted-
         # destination memo preserves the replay-critical sorted iteration
         # order of ``multicast`` while paying the sort once per distinct
@@ -314,9 +319,12 @@ class Network:
         key = frozenset(dsts)
         order = self._sorted_dsts.get(key)
         if order is None:
+            self.fanout_memo_misses += 1
             if len(self._sorted_dsts) >= _SORTED_DSTS_MEMO_MAX:
                 self._sorted_dsts.clear()
             order = self._sorted_dsts[key] = tuple(sorted(key))
+        else:
+            self.fanout_memo_hits += 1
         # The per-destination body below is ``_delivery_time`` +
         # ``reachable`` + ``_delivery_event`` inlined with hoisted
         # attribute lookups: the fan-out loop is the fabric's hottest

@@ -22,11 +22,20 @@ from ..naming.persistence import DurableStore
 from ..runtime.interfaces import Addressing, NodeId, Runtime
 from ..sim.process import Process
 from ..sim.transport import ReliableTransport
-from .failure_detector import FailureDetector
+from .failure_detector import FailureDetector, GossipFailureDetector
 from .hwg import HwgEndpoint, HwgListener
 from .locator import GroupAddressing
-from .messages import Heartbeat, VsyncMessage
+from .messages import (
+    Heartbeat,
+    LivenessDigest,
+    Presence,
+    ProbePing,
+    ProbeRequest,
+    VsyncMessage,
+    ZoneSummary,
+)
 from .view import GroupId, ViewId
+from .zones import ZoneAgent, ZoneDirectory
 
 
 @dataclass
@@ -58,6 +67,18 @@ class VsyncConfig:
     #: on to enable yield-to-smaller-leader, stale-target tolerance,
     #: flush re-reports, late-reply acceptance and no-op-round elision.
     heal_hardening: bool = False
+    #: Membership topology: "flat" (the paper's all-to-all substrate,
+    #: bit-identical to every pinned trace) or "zoned" (two-level zoned
+    #: membership with gossip failure detection, PROTOCOLS.md §20).
+    topology: str = "flat"
+    #: Zone count when ``topology == "zoned"`` (ignored when flat).
+    num_zones: int = 4
+    #: How long a stale liveness entry waits on an indirect probe
+    #: before being declared suspected (gossip detector only).
+    fd_probe_timeout_us: int = 150_000
+
+    #: Non-timer knobs excluded from :meth:`scaled`.
+    _FLAGS = ("heal_hardening", "topology", "num_zones")
 
     def scaled(self, factor: float) -> "VsyncConfig":
         """A copy with every timer multiplied by ``factor``."""
@@ -65,9 +86,11 @@ class VsyncConfig:
             **{
                 name: int(getattr(self, name) * factor)
                 for name in vars(self)
-                if name != "heal_hardening"
+                if name not in self._FLAGS
             },
             heal_hardening=self.heal_hardening,
+            topology=self.topology,
+            num_zones=self.num_zones,
         )
 
 
@@ -81,6 +104,7 @@ class ProtocolStack(Process):
         addressing: Addressing,
         config: Optional[VsyncConfig] = None,
         node_store: Optional[DurableStore] = None,
+        zone_directory: Optional[ZoneDirectory] = None,
     ):
         super().__init__(env, node)
         self.addressing = addressing
@@ -93,11 +117,24 @@ class ProtocolStack(Process):
             env, node, self._deliver_control,
             retransmit_timeout_us=self.config.retransmit_timeout_us,
         )
-        self.fd = FailureDetector(
-            env, node, self._fd_multicast,
-            heartbeat_period_us=self.config.heartbeat_period_us,
-            timeout_us=self.config.fd_timeout_us,
-        )
+        #: Zone agent (zoned topology only): substrate seeding, relay
+        #: duties, per-zone summaries.  None keeps the flat substrate
+        #: byte-identical to every pinned trace.
+        self.zones: Optional[ZoneAgent] = None
+        if self.config.topology == "zoned" and zone_directory is not None:
+            self.fd = GossipFailureDetector(
+                env, node, self._fd_multicast,
+                heartbeat_period_us=self.config.heartbeat_period_us,
+                timeout_us=self.config.fd_timeout_us,
+                probe_timeout_us=self.config.fd_probe_timeout_us,
+            )
+            self.zones = ZoneAgent(self, zone_directory)
+        else:
+            self.fd = FailureDetector(
+                env, node, self._fd_multicast,
+                heartbeat_period_us=self.config.heartbeat_period_us,
+                timeout_us=self.config.fd_timeout_us,
+            )
         self.fd.subscribe(self._on_suspicion_change)
         self.endpoints: Dict[GroupId, HwgEndpoint] = {}
         #: Bumped on every endpoint creation/drop/state change; lets the
@@ -131,6 +168,13 @@ class ProtocolStack(Process):
             self._tick_stability,
             jitter_stream=f"stability:{node}",
         )
+        if self.zones is not None:
+            self.zones.seed_substrate()
+            self.set_periodic(
+                self.config.beacon_period_us,
+                self.zones.tick,
+                jitter_stream=f"zone:{node}",
+            )
 
     # ------------------------------------------------------------------
     # Endpoint management
@@ -222,6 +266,8 @@ class ProtocolStack(Process):
     def _dispatch(self, src: NodeId, msg: Any) -> None:
         if isinstance(msg, Heartbeat):
             return
+        if self.zones is not None and self._dispatch_zoned(src, msg):
+            return
         for handler in self.extra_handlers:
             if handler(src, msg):
                 return
@@ -230,6 +276,28 @@ class ProtocolStack(Process):
         endpoint = self.endpoints.get(msg.group)
         if endpoint is not None:
             endpoint.on_message(src, msg)
+
+    def _dispatch_zoned(self, src: NodeId, msg: Any) -> bool:
+        """Zoned-topology control traffic; True when consumed."""
+        assert self.zones is not None
+        fd = self.fd
+        if isinstance(msg, LivenessDigest):
+            fd.on_digest(src, msg)
+            return True
+        if isinstance(msg, ProbeRequest):
+            fd.on_probe_request(src, msg)
+            return True
+        if isinstance(msg, ProbePing):
+            fd.on_probe_ping(src, msg)
+            return True
+        if isinstance(msg, ZoneSummary):
+            self.zones.on_summary(src, msg)
+            return True
+        if isinstance(msg, Presence):
+            # Relay duty: fan cross-zone beacons into the local zone,
+            # then fall through to normal endpoint handling.
+            self.zones.maybe_forward_presence(src, msg)
+        return False
 
     def register_handler(self, handler) -> None:
         """Register ``handler(src, msg) -> bool`` for non-vsync traffic."""
@@ -258,6 +326,8 @@ class ProtocolStack(Process):
         self.addressing.unsubscribe_all(self.node)
         self.endpoints.clear()
         self.fd.reset()
+        if self.zones is not None:
+            self.zones.on_crash()
 
     def on_recover(self) -> None:
         # A recovered process comes back with a clean slate: applications
@@ -272,6 +342,9 @@ class ProtocolStack(Process):
                 at_least=self.transport.incarnation
             )
             self._trace_recovered()
+        if self.zones is not None:
+            self.zones.on_recover()
+            self.fd.incarnation = self.transport.incarnation
 
     def _trace_recovered(self) -> None:
         self.env.tracer.emit(

@@ -139,9 +139,17 @@ _FLUSH_MERGE_TYPES = frozenset(
     }
 )
 
+#: Failure-detection traffic: per-peer heartbeats under the flat
+#: topology, gossip digests / indirect probes / zone summaries under
+#: "zoned" (PROTOCOLS.md §20).  Metered separately from flush/merge —
+#: FD volume is the quantity the zoned topology exists to shrink.
+_FD_TYPES = frozenset(
+    {"Heartbeat", "LivenessDigest", "ProbeRequest", "ProbePing", "ZoneSummary"}
+)
+
 
 def classify_flush_payload(payload: Any, max_depth: int = 5) -> Optional[str]:
-    """The merge/flush/heartbeat message type carried by ``payload``.
+    """The merge/flush/FD message type carried by ``payload``.
 
     Control messages are never batched (the packer flushes before every
     ``hwg_send`` of an LWG control message), so unwrapping the nested
@@ -152,7 +160,7 @@ def classify_flush_payload(payload: Any, max_depth: int = 5) -> Optional[str]:
         if payload is None:
             return None
         name = type(payload).__name__
-        if name in _FLUSH_MERGE_TYPES or name == "Heartbeat":
+        if name in _FLUSH_MERGE_TYPES or name in _FD_TYPES:
             return name
         payload = getattr(payload, "payload", None)
     return None
@@ -172,14 +180,19 @@ class FabricMeter:
         self.flush_messages = 0
         self.flush_bytes = 0
         self.heartbeats = 0
+        self.fd_messages = 0
         self.by_type: Dict[str, int] = {}
-        network = cluster.env.network
+        self._network = cluster.env.network
+        network = self._network
         inner = network._deliver
 
         def metered(src: str, dst: str, payload: Any, size: int) -> None:
             kind = classify_flush_payload(payload)
-            if kind == "Heartbeat":
-                self.heartbeats += 1
+            if kind in _FD_TYPES:
+                self.fd_messages += 1
+                if kind == "Heartbeat":
+                    self.heartbeats += 1
+                self.by_type[kind] = self.by_type.get(kind, 0) + 1
             elif kind is not None:
                 self.flush_messages += 1
                 self.flush_bytes += size
@@ -188,8 +201,28 @@ class FabricMeter:
 
         network._deliver = metered  # type: ignore[method-assign]
 
+    @property
+    def fanout_memo_hits(self) -> int:
+        """Multicast fan-out memo hits on the underlying fabric."""
+        return getattr(self._network, "fanout_memo_hits", 0)
+
+    @property
+    def fanout_memo_misses(self) -> int:
+        return getattr(self._network, "fanout_memo_misses", 0)
+
     def snapshot(self) -> int:
         return self.flush_messages
+
+    def counters(self) -> Dict[str, int]:
+        """All meter counters, including the fabric's fan-out memo stats."""
+        return {
+            "flush_messages": self.flush_messages,
+            "flush_bytes": self.flush_bytes,
+            "heartbeats": self.heartbeats,
+            "fd_messages": self.fd_messages,
+            "fanout_memo_hits": self.fanout_memo_hits,
+            "fanout_memo_misses": self.fanout_memo_misses,
+        }
 
 
 # ----------------------------------------------------------------------

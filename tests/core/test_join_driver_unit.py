@@ -181,14 +181,33 @@ def test_claim_or_retry_resends_when_group_visible():
     service, local, driver = make_driver()
     driver.start()
     service.naming.reads[0][1]([record("lwg:g", ViewId("a", 1), "hwg:tgt")])
-    # The directory knows the LWG lives here: the claim timer re-asks.
+    # The directory records the LWG with a member that is actually in
+    # the HWG's current view (an admitter): the claim timer re-asks.
     service.table.dir_for("hwg:tgt").record_view(
-        View("lwg:g", ViewId("pC", 1), ("pC",))
+        View("lwg:g", ViewId("p0", 1), ("p0",))
     )
     claim_timer = service.stack.timers[-1]
     claim_timer[1]()
     requests = [m for _, m in service.sent if isinstance(m, LwgJoinReq)]
     assert len(requests) == 2
+
+
+def test_claim_or_retry_restarts_from_naming_when_no_admitter():
+    service, local, driver = make_driver()
+    driver.start()
+    service.naming.reads[0][1]([record("lwg:g", ViewId("a", 1), "hwg:tgt")])
+    # The recorded members have all left the HWG ("pC" is not in the
+    # endpoint's current view), so nobody can admit us: resending would
+    # loop forever.  The driver escalates to a fresh naming read.
+    service.table.dir_for("hwg:tgt").record_view(
+        View("lwg:g", ViewId("pC", 1), ("pC",))
+    )
+    reads_before = len(service.naming.reads)
+    claim_timer = service.stack.timers[-1]
+    claim_timer[1]()
+    requests = [m for _, m in service.sent if isinstance(m, LwgJoinReq)]
+    assert len(requests) == 1  # no resend
+    assert len(service.naming.reads) == reads_before + 1
 
 
 def test_claim_or_retry_claims_when_group_gone():

@@ -86,3 +86,28 @@ def test_derived_node_ids():
     schedule = sample_schedule()
     assert schedule.process_ids == ["p0", "p1", "p2", "p3"]
     assert schedule.name_server_ids == ["ns0", "ns1"]
+
+
+def test_flat_schedule_json_omits_zoning_fields():
+    # Pre-zoning corpus files must stay byte-canonical: a flat schedule
+    # serializes without topology/zones keys and without per-step zones.
+    data = json.loads(sample_schedule().to_json())
+    assert "topology" not in data and "zones" not in data
+    assert all("zone" not in step for step in data["steps"])
+    decoded = Schedule.from_json(sample_schedule().to_json())
+    assert decoded.topology == "flat" and decoded.zones == 0
+
+
+def test_zoned_schedule_round_trips_topology_and_relay_steps():
+    schedule = sample_schedule()
+    schedule.topology = "zoned"
+    schedule.zones = 4
+    schedule.steps.append(Step(kind="relay_crash", zone=2))
+    decoded = Schedule.from_json(schedule.to_json())
+    assert decoded.topology == "zoned" and decoded.zones == 4
+    assert decoded.steps[-1].kind == "relay_crash"
+    assert decoded.steps[-1].zone == 2
+    assert "zone 2" in decoded.steps[-1].describe()
+    # replace_steps (the shrinker's constructor) keeps the topology.
+    shrunk = decoded.replace_steps(decoded.steps[:1])
+    assert shrunk.topology == "zoned" and shrunk.zones == 4

@@ -1,0 +1,131 @@
+"""Whole-stack tests of the zoned membership topology (PROTOCOLS.md §20).
+
+The full LWG stack runs with ``VsyncConfig.topology = "zoned"``: gossip
+failure detection inside each zone, relay pairs bridging cross-zone
+traffic, and zone-scoped liveness state.  Every test finishes with the
+standard checker suite's quiesce audit, which includes the zone-scope
+monitor (relay election, zone-bounded tracking, directory/network
+liveness agreement).
+"""
+
+from repro.core import LwgConfig
+from repro.sim import SECOND
+from repro.vsync import VsyncConfig
+from repro.vsync.failure_detector import GossipFailureDetector
+from repro.vsync.zones import ZoneMap
+from repro.workloads import Cluster
+
+
+def fast_config():
+    config = LwgConfig()
+    config.policy_period_us = 2 * SECOND
+    config.shrink_grace_us = 1 * SECOND
+    return config
+
+
+#: Two zones, two processes each — fixed so the cross-zone layout never
+#: depends on how the hash happens to spread four node ids.
+EXPLICIT_ZONES = {"p0": 0, "p1": 0, "p2": 1, "p3": 1, "ns0": 0, "ns1": 1}
+
+
+def make_cluster(seed=17, num_processes=4):
+    return Cluster(
+        num_processes=num_processes,
+        seed=seed,
+        vsync_config=VsyncConfig(topology="zoned", num_zones=2),
+        zone_map=ZoneMap(num_zones=2, explicit=EXPLICIT_ZONES),
+        lwg_config=fast_config(),
+    )
+
+
+def settled(cluster, groups, members_of):
+    for group in groups:
+        for node in members_of[group]:
+            local = cluster.service(node).table.local(f"lwg:{group}")
+            if local is None or not local.is_member or local.view is None:
+                return False
+        views = {
+            cluster.service(node).table.local(f"lwg:{group}").view.view_id
+            for node in members_of[group]
+        }
+        if len(views) != 1:
+            return False
+    return True
+
+
+def test_zoned_cluster_wires_the_zone_layer():
+    cluster = make_cluster()
+    assert cluster.zone_directory is not None
+    for node in cluster.process_ids:
+        stack = cluster.stack(node)
+        assert stack.zones is not None
+        assert stack.zones.zone == EXPLICIT_ZONES[node]
+        assert isinstance(stack.fd, GossipFailureDetector)
+    assert cluster.zone_directory.relays(0) == ("p0", "p1")
+    assert cluster.zone_directory.relays(1) == ("p2", "p3")
+
+
+def test_flat_default_has_no_zone_layer():
+    cluster = Cluster(num_processes=2, seed=17, lwg_config=fast_config())
+    assert cluster.zone_directory is None
+    for node in cluster.process_ids:
+        assert cluster.stack(node).zones is None
+        assert not isinstance(cluster.stack(node).fd, GossipFailureDetector)
+
+
+def test_cross_zone_group_converges_and_passes_checkers():
+    cluster = make_cluster()
+    members = set(cluster.process_ids)  # spans both zones
+    for node in members:
+        cluster.service(node).join("g0")
+    assert cluster.run_until(
+        lambda: settled(cluster, ("g0",), {"g0": members}),
+        timeout_us=40 * SECOND,
+    )
+    cluster.run_for_seconds(5)
+    cluster.check_invariants()
+
+
+def test_relay_crash_fails_over_and_regroups():
+    cluster = make_cluster()
+    members = set(cluster.process_ids)
+    for node in members:
+        cluster.service(node).join("g0")
+    assert cluster.run_until(
+        lambda: settled(cluster, ("g0",), {"g0": members}),
+        timeout_us=40 * SECOND,
+    )
+    primary = cluster.zone_directory.primary_relay(0)
+    assert primary == "p0"
+    cluster.crash(primary)
+    members.discard(primary)
+    # The survivors re-form the group and the relay pair re-elects.
+    assert cluster.run_until(
+        lambda: settled(cluster, ("g0",), {"g0": members}),
+        timeout_us=60 * SECOND,
+    )
+    assert cluster.zone_directory.primary_relay(0) == "p1"
+    cluster.run_for_seconds(5)
+    cluster.check_invariants()
+
+
+def test_zone_partition_heals_and_passes_checkers():
+    cluster = make_cluster()
+    members = set(cluster.process_ids)
+    for node in members:
+        cluster.service(node).join("g0")
+    assert cluster.run_until(
+        lambda: settled(cluster, ("g0",), {"g0": members}),
+        timeout_us=40 * SECOND,
+    )
+    # Cut exactly along the zone boundary — the worst case for a zoned
+    # deployment, since every cross-zone liveness path dies at once.
+    cluster.partition(["p0", "p1", "ns0"], ["p2", "p3", "ns1"])
+    cluster.run_for_seconds(10)
+    cluster.heal()
+    assert cluster.run_until(
+        lambda: settled(cluster, ("g0",), {"g0": members}),
+        timeout_us=90 * SECOND,
+    )
+    cluster.run_for_seconds(5)
+    cluster.check_invariants()

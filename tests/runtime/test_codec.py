@@ -222,3 +222,35 @@ def test_sync_messages_avoid_pickle_frames():
     frame = CompactCodec().encode("p0", message, 128)
     assert frame[0] == MAGIC
     assert b"SyncReply" not in frame  # no pickled class path inside
+
+
+def test_liveness_digest_roundtrips_exactly():
+    from repro.vsync.messages import LivenessDigest
+
+    digest = LivenessDigest(
+        group="_fd",
+        sender="p3",
+        round_no=417,
+        entries=(
+            ("p0", 0, 12, False),
+            ("p1", 2, 9, True),
+            ("p7", 1, 0, False),
+        ),
+    )
+    _, decoded, _ = roundtrip(digest)
+    assert decoded == digest and type(decoded) is LivenessDigest
+    assert all(isinstance(row, tuple) for row in decoded.entries)
+    empty = LivenessDigest(group="_fd", sender="p0", round_no=1)
+    assert roundtrip(empty)[1] == empty
+
+
+def test_liveness_digest_avoids_pickle_frames():
+    from repro.vsync.messages import LivenessDigest
+
+    digest = LivenessDigest(
+        group="_fd", sender="p3", round_no=2,
+        entries=(("p0", 0, 5, False), ("p1", 0, 4, True)),
+    )
+    frame = CompactCodec().encode("p3", digest, digest.size_bytes())
+    assert frame[0] == MAGIC
+    assert b"LivenessDigest" not in frame  # no pickled class path inside

@@ -128,3 +128,56 @@ def test_reset_clears_everything(env):
     fd.reset()
     assert fd.monitored_peers() == set()
     assert fd.suspected_peers() == set()
+
+
+def test_unmonitor_underflow_is_harmless(env):
+    h = Harness(env)
+    fd = h.fds["a"]
+    fd.unmonitor("b")  # never monitored
+    fd.monitor("b")
+    fd.unmonitor("b")
+    fd.unmonitor("b")  # one drop too many
+    assert "b" not in fd.monitored_peers()
+    # The extra drop must not leave a negative refcount behind: the next
+    # monitor starts a fresh count of one, which one unmonitor releases.
+    fd.monitor("b")
+    assert "b" in fd.monitored_peers()
+    fd.unmonitor("b")
+    assert "b" not in fd.monitored_peers()
+
+
+def test_unmonitor_while_suspected_clears_suspicion_exactly_once(env):
+    h = Harness(env)
+    fd = h.fds["a"]
+    fd.monitor("b")
+    env.network.set_partitions([["a"], ["b"]])
+    h.drive(500_000)
+    assert fd.is_suspected("b")
+    before = list(h.events)
+    fd.unmonitor("b")
+    assert not fd.is_suspected("b")
+    assert fd.suspected_peers() == set()
+    # No further notifications: the clear is silent (the caller asked to
+    # stop watching) and later checks never resurrect the stale entry.
+    h.drive(500_000)
+    assert h.events == before
+    assert not fd.is_suspected("b")
+
+
+def test_remonitor_after_same_tick_unmonitor_gets_fresh_grace(env):
+    h = Harness(env)
+    fd = h.fds["a"]
+    fd.monitor("b")
+    env.network.set_partitions([["a"], ["b"]])
+    h.drive(500_000)
+    assert fd.is_suspected("b")
+    # Drop and re-add within the same tick (endpoint churn does this when
+    # a group reforms): the new registration starts with a fresh grace
+    # window instead of inheriting the stale last-heard time.
+    fd.unmonitor("b")
+    fd.monitor("b")
+    fd.tick_check()
+    assert not fd.is_suspected("b")
+    # Grace is a window, not immunity: continued silence re-suspects.
+    h.drive(500_000)
+    assert fd.is_suspected("b")

@@ -1,0 +1,77 @@
+"""Zone layer unit tests: assignment, directory, relay election.
+
+The :class:`ZoneAgent` rides on a full vsync stack, so its behaviour is
+covered by the zoned integration tests; this file pins down the pure
+pieces — the deterministic zone hash, the directory bookkeeping and the
+relay-pair election — which everything else (checkers, fuzz relay_crash
+steps, benchmarks) depends on.
+"""
+
+from repro.vsync.zones import ZoneDirectory, ZoneMap, zone_hash
+
+
+def test_zone_hash_is_deterministic_and_in_range():
+    for node in ("p0", "p1", "ns0", "some-long-name"):
+        for zones in (1, 2, 4, 7, 64):
+            first = zone_hash(node, zones)
+            assert first == zone_hash(node, zones)
+            assert 0 <= first < zones
+
+
+def test_zone_hash_spreads_nodes_across_zones():
+    nodes = [f"p{i}" for i in range(256)]
+    zones = {zone_hash(node, 4) for node in nodes}
+    assert zones == {0, 1, 2, 3}  # 256 nodes never all land in one zone
+
+
+def test_zone_map_explicit_override_beats_the_hash():
+    zmap = ZoneMap(num_zones=4, explicit={"p0": 3})
+    assert zmap.zone_of("p0") == 3
+    hashed = ZoneMap(num_zones=4)
+    assert zmap.zone_of("p1") == hashed.zone_of("p1")
+
+
+def test_directory_registration_is_order_independent():
+    nodes = [f"p{i}" for i in range(12)]
+    forward = ZoneDirectory(ZoneMap(num_zones=3))
+    backward = ZoneDirectory(ZoneMap(num_zones=3))
+    for node in nodes:
+        forward.register(node)
+    for node in reversed(nodes):
+        backward.register(node)
+    for zone in forward.zones():
+        assert forward.members(zone) == backward.members(zone)
+        assert forward.relays(zone) == backward.relays(zone)
+
+
+def test_relay_pair_election_and_failover():
+    directory = ZoneDirectory(ZoneMap(num_zones=1))
+    for node in ("a", "b", "c", "d"):
+        directory.register(node)
+    assert directory.members(0) == ("a", "b", "c", "d")
+    assert directory.relays(0) == ("a", "b")
+    assert directory.primary_relay(0) == "a"
+    # The primary crashes: the pair re-forms from the remaining actives.
+    directory.set_active("a", False)
+    assert directory.relays(0) == ("b", "c")
+    assert directory.primary_relay(0) == "b"
+    # It recovers: election is positional, so it resumes primary duty.
+    directory.set_active("a", True)
+    assert directory.primary_relay(0) == "a"
+
+
+def test_empty_zone_has_no_relays():
+    directory = ZoneDirectory(ZoneMap(num_zones=2, explicit={"a": 0}))
+    directory.register("a")
+    assert directory.relays(1) == ()
+    assert directory.primary_relay(1) is None
+    directory.set_active("a", False)
+    assert directory.primary_relay(0) is None
+
+
+def test_all_relays_unions_every_zone_pair():
+    explicit = {"a": 0, "b": 0, "c": 1, "d": 1, "e": 1}
+    directory = ZoneDirectory(ZoneMap(num_zones=2, explicit=explicit))
+    for node in explicit:
+        directory.register(node)
+    assert directory.all_relays() == {"a", "b", "c", "d"}
